@@ -1,0 +1,26 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one figure of the paper: it computes the artefact
+(table/series), writes it to ``benchmarks/out/<name>.txt`` and prints it
+(visible with ``pytest -s``), and additionally times a representative
+computational kernel through pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+def emit(name: str, text: str) -> None:
+    """Persist and print one figure artefact."""
+    OUT_DIR.mkdir(exist_ok=True)
+    path = OUT_DIR / f"{name}.txt"
+    path.write_text(text + "\n", encoding="utf-8")
+    print(f"\n{text}\n[written to {path}]")
+
+
+def once(benchmark, func, *args, **kwargs):
+    """Run an expensive experiment exactly once under the benchmark timer."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)

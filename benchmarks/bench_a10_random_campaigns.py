@@ -1,0 +1,100 @@
+"""A10 — stochastic field-mix campaigns.
+
+The fixed catalogue (Figs. 4-6) injects one mechanism at a time.  This
+bench samples *random* campaigns — Poisson fault counts, mechanism mix
+calibrated to the paper's cited field statistics, uniform activation times,
+faults superimposed in a single run — across several seeds, and scores the
+per-fault attribution accuracy.  This is the closest analogue of a field
+trial the simulated substrate supports.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.reports import render_table
+from repro.analysis.scenarios import predicted_class_for
+from repro.diagnosis.diag_das import DiagnosticService
+from repro.faults.campaign import RandomCampaign
+from repro.faults.injector import FaultInjector
+from repro.presets import figure10_cluster
+from repro.units import seconds
+
+from benchmarks._util import emit, once
+
+SEEDS = tuple(range(1, 9))
+
+
+def run_seed(seed: int):
+    parts = figure10_cluster(seed=seed)
+    cluster = parts.cluster
+    service = DiagnosticService(
+        cluster, collector="comp5", window_points=12_000
+    )
+    injector = FaultInjector(cluster)
+    campaign = RandomCampaign(
+        injector,
+        expected_faults=4.0,
+        horizon_us=seconds(8),
+        sensor_jobs=("C1",),
+        software_jobs=("A1", "A2", "B1", "C2"),
+        config_ports=(("A3", "in"),),
+    )
+    plan = campaign.run(np.random.default_rng(seed))
+    cluster.run(seconds(8))
+    verdicts = service.verdicts()
+    outcomes = []
+    for descriptor in plan.descriptors:
+        predicted = predicted_class_for(
+            descriptor, verdicts, cluster.job_location
+        )
+        outcomes.append(
+            (
+                descriptor.mechanism,
+                descriptor.fault_class,
+                predicted,
+                predicted is descriptor.fault_class,
+            )
+        )
+    return outcomes
+
+
+def run_all():
+    rows = []
+    correct = total = 0
+    per_mechanism: dict[str, list[bool]] = {}
+    for seed in SEEDS:
+        outcomes = run_seed(seed)
+        ok = sum(1 for *_rest, good in outcomes if good)
+        correct += ok
+        total += len(outcomes)
+        for mechanism, _truth, _pred, good in outcomes:
+            per_mechanism.setdefault(mechanism, []).append(good)
+        rows.append([seed, len(outcomes), ok])
+    return rows, correct, total, per_mechanism
+
+
+def test_a10_random_field_campaigns(benchmark):
+    rows, correct, total, per_mechanism = once(benchmark, run_all)
+    seed_table = render_table(
+        ["seed", "faults injected", "correctly attributed"],
+        rows,
+        title="A10 — random field-mix campaigns (paper-calibrated mix)",
+    )
+    mech_table = render_table(
+        ["mechanism", "injections", "attribution accuracy"],
+        [
+            [m, len(goods), f"{sum(goods) / len(goods):.0%}"]
+            for m, goods in sorted(per_mechanism.items())
+        ],
+        title="Per-mechanism accuracy across all seeds",
+    )
+    emit(
+        "a10_random_campaigns",
+        seed_table
+        + "\n\n"
+        + mech_table
+        + f"\n\noverall: {correct}/{total} ({correct / total:.0%})",
+    )
+    assert total >= 20
+    assert correct / total >= 0.85

@@ -1,0 +1,101 @@
+"""A11 — dimensioning the virtual diagnostic network.
+
+The diagnostic VN is an encapsulated overlay with its own bandwidth
+allocation (§II-D).  Its slot budget is a design choice: too small and
+symptom dissemination backs up during symptom storms (delaying
+verdicts — though never perturbing applications); large budgets cost
+reserved bandwidth on the real network.  This bench sweeps the budget
+under a symptom-storm workload (a flaky connector reporting on every
+round) and reports backlog, drops and verdict latency.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reports import render_table
+from repro.analysis.scenarios import predicted_class_for
+from repro.core.fault_model import FaultClass
+from repro.diagnosis.diag_das import DiagnosticService
+from repro.faults.injector import FaultInjector
+from repro.presets import figure10_cluster
+from repro.units import ms, seconds, to_ms
+
+from benchmarks._util import emit, once
+
+BUDGETS = (1, 2, 4, 8, 16)
+
+
+def run_budget(slot_budget: int):
+    parts = figure10_cluster(seed=33)
+    cluster = parts.cluster
+    service = DiagnosticService(
+        cluster,
+        collector="comp5",
+        diagnostic_slot_budget=slot_budget,
+    )
+    injector = FaultInjector(cluster)
+    descriptor = injector.inject_connector_fault(
+        "comp3", 0, omission_prob=1.0, at_us=ms(100)
+    )
+    cluster.run(seconds(2))
+    latency = None
+    for epoch in service.epoch_results:
+        predicted = predicted_class_for(
+            descriptor, list(epoch.verdicts), cluster.job_location
+        )
+        if predicted is FaultClass.COMPONENT_BORDERLINE:
+            latency = epoch.now_us - descriptor.activation_us
+            break
+    backlog = sum(service.network.backlog().values())
+    return {
+        "budget": slot_budget,
+        "deposited": service.network.deposited,
+        "transmitted": service.network.transmitted,
+        "dropped": service.network.dropped_outbox,
+        "backlog": backlog,
+        "latency_ms": to_ms(latency) if latency is not None else None,
+    }
+
+
+def run_sweep():
+    return [run_budget(b) for b in BUDGETS]
+
+
+def test_a11_diagnostic_bandwidth_sweep(benchmark):
+    results = once(benchmark, run_sweep)
+    rows = [
+        [
+            r["budget"],
+            r["deposited"],
+            r["transmitted"],
+            r["dropped"],
+            r["backlog"],
+            f"{r['latency_ms']:.0f} ms" if r["latency_ms"] else "never",
+        ]
+        for r in results
+    ]
+    table = render_table(
+        [
+            "slot budget",
+            "symptoms deposited",
+            "transmitted",
+            "dropped (outbox)",
+            "final backlog",
+            "verdict latency",
+        ],
+        rows,
+        title=(
+            "A11 — diagnostic VN bandwidth under a symptom storm "
+            "(connector flapping every round)"
+        ),
+    )
+    emit("a11_diag_bandwidth", table)
+
+    by_budget = {r["budget"]: r for r in results}
+    # Every budget eventually reaches the right verdict...
+    assert all(r["latency_ms"] is not None for r in results)
+    # ...but starved budgets queue symptoms while ample ones do not.
+    assert by_budget[1]["backlog"] >= by_budget[16]["backlog"]
+    assert by_budget[16]["dropped"] == 0
+    # latency is monotone-ish: the widest budget is at least as fast as
+    # the narrowest.
+    assert by_budget[16]["latency_ms"] <= by_budget[1]["latency_ms"]

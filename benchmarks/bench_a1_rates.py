@@ -1,0 +1,113 @@
+"""A1 — the quantitative assumptions of §III-E, verified in the substrate.
+
+The paper states concrete numbers for the fault model's environment:
+transient rate ~1e5 FIT (one per year), permanent rate ~1e2 FIT (one per
+1000 years), transient outage durations of tens of milliseconds (< 50 ms),
+EMI bursts of ~10 ms (ISO 7637), and the 500 ms OBD recording threshold.
+This bench measures each of them against the implementation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.reports import render_table
+from repro.faults import rates
+from repro.reliability.fit import exponential_arrivals_us, observed_fit
+from repro.units import (
+    HOURS_PER_YEAR,
+    hours,
+    mtbf_hours,
+    to_hours,
+    to_ms,
+)
+
+from benchmarks._util import emit
+
+
+def test_a1_quantitative_assumptions(benchmark):
+    rng = np.random.default_rng(1)
+
+    # Measure the transient rate by sampling ten device-years.
+    def sample_arrivals():
+        return exponential_arrivals_us(
+            rng, rates.TRANSIENT_HW_FIT, hours(10 * HOURS_PER_YEAR)
+        )
+
+    arrivals = benchmark(sample_arrivals)
+    measured_fit = observed_fit(arrivals.size, 10 * HOURS_PER_YEAR)
+
+    rows = [
+        [
+            "transient HW rate",
+            "~100,000 FIT (about 1/year)",
+            f"{measured_fit:,.0f} FIT measured over 10 device-years "
+            f"({arrivals.size} events)",
+        ],
+        [
+            "permanent HW rate",
+            "~100 FIT (about 1000 years)",
+            f"MTBF({rates.PERMANENT_HW_FIT:.0f} FIT) = "
+            f"{mtbf_hours(rates.PERMANENT_HW_FIT) / HOURS_PER_YEAR:,.0f} years",
+        ],
+        [
+            "transient outage duration",
+            "tens of ms, < 50 ms (steering: < 50 ms)",
+            f"default {to_ms(rates.TRANSIENT_OUTAGE_TYPICAL_US):.0f} ms, "
+            f"max {to_ms(rates.TRANSIENT_OUTAGE_MAX_US):.0f} ms",
+        ],
+        [
+            "correlated transient (EMI burst)",
+            "~10 ms (ISO 7637)",
+            f"default burst {to_ms(rates.EMI_BURST_DURATION_US):.0f} ms",
+        ],
+        [
+            "OBD recording threshold",
+            "500 ms",
+            f"{to_ms(rates.OBD_RECORD_THRESHOLD_US):.0f} ms",
+        ],
+        [
+            "software fault distribution",
+            "20% of modules cause 80% of failures",
+            f"{rates.SOFTWARE_PARETO_MODULES:.0%} / "
+            f"{rates.SOFTWARE_PARETO_FAILURES:.0%} (generator default)",
+        ],
+        [
+            "LRU removal cost",
+            "~800 $",
+            f"${rates.LRU_REMOVAL_COST_USD:.0f}",
+        ],
+    ]
+    table = render_table(
+        ["assumption (§III-E / §I)", "paper", "implementation / measured"],
+        rows,
+        title="A1 — quantitative assumptions, paper vs substrate",
+    )
+
+    # Pecht's law: the trend behind the paper's transient/permanent
+    # asymmetry (time-to-failure doubling every 14 months).
+    from repro.reliability import pecht
+
+    months = (0, 14, 28, 42, 56)
+    pecht_table = render_table(
+        ["months of progress", "permanent FIT (from 100)", "transient FIT (from 1e5)", "ratio"],
+        [
+            [
+                m,
+                float(pecht.permanent_fit_after(100.0, m)),
+                float(pecht.transient_fit_after(1e5, m)),
+                f"{float(pecht.transient_to_permanent_ratio(m)):,.0f}",
+            ]
+            for m in months
+        ],
+        title="Pecht's-law projection (doubling period 14 months)",
+    )
+    emit("a1_rates", table + "\n\n" + pecht_table)
+
+    # The measured transient rate is statistically consistent with 1e5 FIT
+    # (10 expected events over 10 device-years).
+    assert 2 <= arrivals.size <= 25
+    # And all durations respect the paper's bounds.
+    assert rates.TRANSIENT_OUTAGE_TYPICAL_US < rates.TRANSIENT_OUTAGE_MAX_US
+    assert to_ms(rates.TRANSIENT_OUTAGE_MAX_US) <= 50
+    assert to_ms(rates.EMI_BURST_DURATION_US) == 10

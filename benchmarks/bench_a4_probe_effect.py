@@ -1,0 +1,78 @@
+"""A4 — no probe effect at network level (§II-D).
+
+"The high-level virtual network service ensures that strong fault
+isolation between virtual networks of different DASs is guaranteed.  This
+way no probe effect at network level can be introduced."
+
+Measured: the application-visible message stream (every value delivered to
+A3's input port) is bit-identical with and without the diagnostic service
+attached, even while the diagnostic VN carries a steady symptom load.
+"""
+
+from __future__ import annotations
+
+from repro.diagnosis.diag_das import DiagnosticService
+from repro.faults.injector import FaultInjector
+from repro.presets import figure10_cluster
+from repro.analysis.reports import render_table
+from repro.units import ms, seconds
+
+from benchmarks._util import emit, once
+
+
+def collect_stream(with_diagnosis: bool):
+    parts = figure10_cluster(seed=77)
+    cluster = parts.cluster
+    service = (
+        DiagnosticService(cluster, collector="comp5") if with_diagnosis else None
+    )
+    # a noisy connector keeps the diagnostic VN busy
+    FaultInjector(cluster).inject_connector_fault(
+        "comp3", 0, omission_prob=0.8, at_us=ms(100)
+    )
+    history = []
+    a3 = cluster.job("A3")
+    original = a3.spec.behaviour
+
+    def recording(ctx):
+        history.extend(
+            (m.seq, m.source_job, m.value)
+            for m in ctx.inputs["in"].drain()
+        )
+        return original(ctx) if original else {}
+
+    a3.spec = a3.spec.__class__(
+        name=a3.spec.name,
+        das=a3.spec.das,
+        ports=a3.spec.ports,
+        behaviour=recording,
+        safety_critical=a3.spec.safety_critical,
+    )
+    cluster.run(seconds(2))
+    diag_traffic = service.network.transmitted if service else 0
+    return history, diag_traffic
+
+
+def run_pair():
+    baseline, _ = collect_stream(with_diagnosis=False)
+    probed, diag_traffic = collect_stream(with_diagnosis=True)
+    return baseline, probed, diag_traffic
+
+
+def test_a4_no_probe_effect(benchmark):
+    baseline, probed, diag_traffic = once(benchmark, run_pair)
+    identical = probed == baseline
+    table = render_table(
+        ["quantity", "without diagnosis", "with diagnosis"],
+        [
+            ["application messages at A3.in", len(baseline), len(probed)],
+            ["diagnostic VN messages carried", 0, diag_traffic],
+            ["streams bit-identical", "-", identical],
+        ],
+        title="A4 — probe-effect check on the application traffic",
+    )
+    emit("a4_probe_effect", table)
+
+    assert len(baseline) > 100
+    assert diag_traffic > 50
+    assert identical

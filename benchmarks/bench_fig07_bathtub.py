@@ -1,0 +1,72 @@
+"""Fig. 7 — the bathtub curve.
+
+Regenerates the reliability curve of electronic components: the hazard
+rate h(t) of the calibrated three-phase model (infant mortality of a weak
+subpopulation, Pauli-Meyna useful-life rate of ~50 failures per million
+ECUs per year, Weibull wearout) over a 30-year horizon, plus the phase
+boundaries and a Monte-Carlo check of the failure-age distribution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.reports import render_series, render_table
+from repro.reliability.bathtub import BathtubModel
+from repro.units import HOURS_PER_YEAR
+
+from benchmarks._util import emit
+
+
+def test_fig07_bathtub_curve(benchmark):
+    model = BathtubModel()
+
+    def curve():
+        return model.curve(30 * HOURS_PER_YEAR, points=2_000)
+
+    t, h = benchmark(curve)
+
+    # Downsample to a readable series (log-spaced to show all 3 phases).
+    idx = np.unique(
+        np.logspace(0, np.log10(len(t) - 1), 18).astype(int)
+    )
+    series = render_series(
+        [f"{t[i] / HOURS_PER_YEAR:.2f}y" for i in idx],
+        [float(h[i]) for i in idx],
+        x_label="age",
+        y_label="hazard h(t) [1/h]",
+        title="Fig. 7 — bathtub curve (log-scaled hazard)",
+        log_y=True,
+    )
+
+    phases = render_table(
+        ["age", "dominant phase", "h(t) [1/h]", "per 1M units per year"],
+        [
+            [
+                f"{years:.2f}y",
+                model.phase_of(years * HOURS_PER_YEAR),
+                float(model.hazard(years * HOURS_PER_YEAR)),
+                float(model.hazard(years * HOURS_PER_YEAR))
+                * HOURS_PER_YEAR
+                * 1e6,
+            ]
+            for years in (0.01, 0.1, 1.0, 5.0, 10.0, 15.0, 20.0, 30.0)
+        ],
+        title="Phase structure",
+    )
+
+    rng = np.random.default_rng(0)
+    ages = model.sample_failure_age_hours(rng, 20_000) / HOURS_PER_YEAR
+    mc = (
+        f"Monte-Carlo failure ages (n=20000): median {np.median(ages):.1f}y, "
+        f"{(ages < 0.1).mean():.2%} infant (<0.1y), "
+        f"{((ages >= 0.1) & (ages < 12)).mean():.2%} useful life, "
+        f"{(ages >= 12).mean():.2%} wearout"
+    )
+    emit("fig07_bathtub", "\n\n".join([series, phases, mc]))
+
+    # Shape assertions: falling, then flat-ish, then rising.
+    i_min = int(np.argmin(h))
+    assert h[0] > 10 * h[i_min]
+    assert h[-1] > 5 * h[i_min]
+    assert model.phase_of(5 * HOURS_PER_YEAR) == "useful"

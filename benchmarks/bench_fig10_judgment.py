@@ -1,0 +1,151 @@
+"""Fig. 10 — judgment according to time, value and space.
+
+Regenerates the figure's scenario pair on the exact placement of the paper
+(component 2 hosting jobs of DASs A, C and S; the TMR triple S1/S2/S3 on
+components 1-3):
+
+* a job-inherent fault hitting DAS A stays confined to DAS A — job-level
+  verdict;
+* a component-internal fault on component 2 fails A3, C1, C2 and S2
+  together, crossing DAS borders — component-level verdict;
+
+plus the sparse-time-base ablation: with a too-fine action lattice the
+correlated-failure grouping degrades.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reports import render_table
+from repro.core.fault_model import FaultClass
+from repro.core.ona import CorrelatedJobFailureOna
+from repro.diagnosis.diag_das import DiagnosticService
+from repro.faults.injector import FaultInjector
+from repro.presets import figure10_cluster
+from repro.units import ms, seconds
+
+from benchmarks._util import emit, once
+
+
+def run_pair():
+    outcomes = {}
+    for label, inject in (
+        ("job-inherent (A2 bohrbug)", lambda inj: inj.inject_software_bohrbug("A2", ms(300))),
+        ("component-internal (comp2 dies)", lambda inj: inj.inject_permanent_internal("comp2", ms(300))),
+    ):
+        parts = figure10_cluster(seed=3)
+        cluster = parts.cluster
+        service = DiagnosticService(cluster, collector="comp5")
+        service.add_tmr_monitor(parts.tmr_monitor)
+        inject(FaultInjector(cluster))
+        cluster.run(seconds(2))
+        outcomes[label] = (parts, service)
+    return outcomes
+
+
+def test_fig10_time_value_space_judgment(benchmark):
+    outcomes = once(benchmark, run_pair)
+
+    rows = []
+    for label, (parts, service) in outcomes.items():
+        verdicts = service.verdicts()
+        affected_jobs = sorted(
+            {
+                s.subject_job
+                for s in service.assessment._window
+                if s.subject_job is not None
+            }
+        )
+        affected_dases = sorted(
+            {
+                parts.cluster.job(j).das
+                for j in affected_jobs
+                if j in parts.cluster.job_location
+            }
+        )
+        rows.append(
+            [
+                label,
+                ", ".join(affected_jobs) or "-",
+                ", ".join(affected_dases) or "-",
+                "; ".join(
+                    f"{v.fru}={v.fault_class.value}" for v in verdicts[:2]
+                ),
+            ]
+        )
+    table = render_table(
+        ["scenario", "symptomatic jobs", "DASs affected", "verdicts"],
+        rows,
+        title="Fig. 10 — discrimination by the three dimensions",
+    )
+    emit("fig10_judgment", table)
+
+    job_parts, job_service = outcomes["job-inherent (A2 bohrbug)"]
+    comp_parts, comp_service = outcomes["component-internal (comp2 dies)"]
+
+    job_verdicts = {str(v.fru): v for v in job_service.verdicts()}
+    assert (
+        job_verdicts["job:A2"].fault_class is FaultClass.JOB_INHERENT_SOFTWARE
+    )
+    assert not any(k.startswith("component:") for k in job_verdicts)
+
+    comp_verdicts = {str(v.fru): v for v in comp_service.verdicts()}
+    assert (
+        comp_verdicts["component:comp2"].fault_class
+        is FaultClass.COMPONENT_INTERNAL
+    )
+    # the error containment held: effects of the A2 fault stayed in DAS A
+    job_window_dases = {
+        job_parts.cluster.job(s.subject_job).das
+        for s in job_service.assessment._window
+        if s.subject_job is not None
+    }
+    assert job_window_dases <= {"A"}
+
+
+def test_fig10_sparse_time_base_ablation(benchmark):
+    """Correlation quality depends on the action-lattice granularity: at
+    slot granularity, jobs failing "together" land on nearby lattice
+    points; with a 1000x finer lattice the same delta window no longer
+    groups them."""
+    from repro.core.ona import OnaContext, Topology
+    from repro.core.symptoms import Symptom, SymptomType
+    from repro.tta.time_base import SparseTimeBase
+
+    def sym(subject, job, point):
+        return Symptom(
+            type=SymptomType.OMISSION,
+            observer="comp5",
+            subject_component=subject,
+            time_us=point,
+            lattice_point=point,
+            subject_job=job,
+        )
+
+    topology = Topology(
+        positions={"comp2": (1.0, 0.0)},
+        component_of_job={"A3": "comp2", "C1": "comp2", "S2": "comp2"},
+        das_of_job={"A3": "A", "C1": "C", "S2": "S"},
+        channels=2,
+    )
+
+    def correlated(granularity_us):
+        tb = SparseTimeBase(granularity_us, 0)
+        # three jobs fail within one TDMA round (5 ms)
+        times = (100_000, 102_000, 104_000)
+        window = [
+            sym(subject="comp2", job=j, point=tb.lattice_point(t))
+            for j, t in zip(("A3", "C1", "S2"), times)
+        ]
+        ctx = OnaContext(200_000, tb, window, topology)
+        return CorrelatedJobFailureOna(delta_points=1).evaluate(ctx)
+
+    coarse = benchmark(lambda: correlated(5_000))
+    fine = correlated(5)
+    emit(
+        "fig10_ablation",
+        "Sparse-time-base ablation: triggers with 5 ms lattice = "
+        f"{len(coarse)}; with 5 us lattice = {len(fine)} "
+        "(same delta window of 1 lattice point)",
+    )
+    assert len(coarse) == 1
+    assert len(fine) == 0

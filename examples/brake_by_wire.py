@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Brake-by-wire: TMR masking plus Fig. 10 fault discrimination.
+
+The safety-critical DAS S of the reference cluster models a brake-by-wire
+control function replicated as a TMR triple (S1 on comp1, S2 on comp2, S3
+on comp3) feeding a voter on comp4.  This example shows the judgment of
+the paper's Fig. 10 in action:
+
+* scenario 1 — a *job-inherent* fault (the replica job S2 crashes): the
+  voter masks it, the effects stay inside DAS S, and the diagnosis blames
+  the job;
+* scenario 2 — a *component-internal* fault (comp2 dies): jobs of four
+  different DASs fail at the same lattice points, so the diagnosis blames
+  the shared component and recommends its replacement.
+
+Run:  python examples/brake_by_wire.py
+"""
+
+from __future__ import annotations
+
+from repro import DiagnosticService, FaultInjector, figure10_cluster
+from repro.analysis.reports import render_table
+from repro.units import ms, seconds
+
+
+def run_scenario(label: str, inject) -> list[list[str]]:
+    parts = figure10_cluster(seed=3)
+    cluster = parts.cluster
+    diagnosis = DiagnosticService(cluster, collector="comp5")
+    diagnosis.add_tmr_monitor(parts.tmr_monitor)
+    injector = FaultInjector(cluster)
+    inject(injector)
+    cluster.run(seconds(2))
+
+    voter = parts.tmr_monitor.voter
+    print(f"\n=== {label}")
+    print(
+        f"  voter: {voter.votes} votes, {voter.masked} masked, "
+        f"{voter.no_majority} without majority, "
+        f"suspect = {voter.suspected_replica()}"
+    )
+    rows = []
+    for verdict in diagnosis.verdicts():
+        rows.append(
+            [
+                str(verdict.fru),
+                verdict.fault_class.value,
+                f"{verdict.confidence:.2f}",
+                verdict.persistence.value,
+            ]
+        )
+    print(
+        render_table(
+            ["FRU", "class", "confidence", "persistence"],
+            rows or [["-", "no verdict", "-", "-"]],
+        )
+    )
+    return rows
+
+
+def main() -> None:
+    run_scenario(
+        "Scenario 1: replica job S2 crashes (job-inherent fault)",
+        lambda inj: inj.inject_job_crash("S2", at_us=ms(300)),
+    )
+    run_scenario(
+        "Scenario 2: component comp2 fails (component-internal fault)",
+        lambda inj: inj.inject_permanent_internal("comp2", at_us=ms(300)),
+    )
+    print(
+        "\nNote how the same observable (S2 stops serving) is attributed\n"
+        "to the job in scenario 1 but to the shared component in scenario\n"
+        "2, because in the latter the correlated failure of jobs from DASs\n"
+        "A, C and S on comp2 crosses DAS borders (paper, Fig. 10)."
+    )
+
+
+if __name__ == "__main__":
+    main()

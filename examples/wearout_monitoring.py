@@ -1,0 +1,121 @@
+#!/usr/bin/env python
+"""Condition-based maintenance: wearout monitoring via transient rates.
+
+The paper proposes the increase of transient failures of an FRU as the
+wearout indicator for electronics (§III-E, citing Constantinescu and the
+alpha-count work of Bondavalli et al.).  This example puts one component
+of the reference cluster on an accelerated wearout trajectory and shows
+the three diagnostic signals evolving:
+
+* the raw transient-outage episodes (rising frequency = Fig. 8 wearout
+  pattern),
+* the alpha-count score crossing its threshold, and
+* the trust level of the FRU decaying (Fig. 9, trajectory A) while a
+  healthy component stays at full trust (trajectory B).
+
+Run:  python examples/wearout_monitoring.py
+"""
+
+from __future__ import annotations
+
+from repro import DiagnosticService, FaultInjector, figure10_cluster
+from repro.analysis.reports import render_series, render_table
+from repro.units import ms, seconds, to_seconds
+
+
+def main() -> None:
+    parts = figure10_cluster(seed=21)
+    cluster = parts.cluster
+    diagnosis = DiagnosticService(cluster, collector="comp5")
+    injector = FaultInjector(cluster)
+
+    horizon = seconds(10)
+    injector.inject_wearout(
+        "comp3",
+        onset_us=ms(500),
+        full_us=seconds(9),
+        horizon_us=horizon,
+        base_fit=8e11,  # accelerated-life rate: sparse episodes early ...
+        multiplier=30.0,  # ... rising 30x towards end of life
+    )
+    cluster.run(horizon)
+
+    # Episode frequency over time (one bucket per second).
+    silent = [r.time for r in cluster.trace.records("frame.silent", source="comp3")]
+    buckets = [0] * 10
+    for t in silent:
+        buckets[min(9, int(to_seconds(t)))] += 1
+    print(
+        render_series(
+            [f"{i}-{i + 1}s" for i in range(10)],
+            buckets,
+            x_label="window",
+            y_label="missed slots",
+            title="Transient-outage activity of comp3 (rising = wearout)",
+        )
+    )
+
+    # alpha-count and trust.
+    alpha = diagnosis.assessment.classifier.alpha
+    score = alpha.count("component:comp3")
+    print(
+        f"\nalpha-count(comp3): score={score.score:.2f} "
+        f"threshold={score.threshold} triggered={score.triggered} "
+        f"first crossing at t="
+        f"{to_seconds(score.first_crossing_at_us or 0):.2f}s"
+    )
+
+    trajectory_a = diagnosis.trust_trajectory("component:comp3")
+    trajectory_b = diagnosis.trust_trajectory("component:comp1")
+    sample = trajectory_a[:: max(1, len(trajectory_a) // 10)]
+    print(
+        render_series(
+            [f"{to_seconds(t):.1f}s" for t, _ in sample],
+            [v for _, v in sample],
+            x_label="time",
+            y_label="trust",
+            title="\nTrust trajectory A (comp3, wearing out)",
+        )
+    )
+    print(
+        f"\nfinal trust: comp3={trajectory_a[-1][1]:.2f} (arrow A), "
+        f"comp1={trajectory_b[-1][1]:.2f} (arrow B)"
+    )
+
+    # Condition-based maintenance assessment from the episode history.
+    from repro.core.cbm import ConditionMonitor, episodes_from_trace
+
+    episodes = episodes_from_trace(cluster, "comp3")
+    assessment = ConditionMonitor(rate_limit_per_s=20.0).assess(
+        "comp3", episodes, cluster.now
+    )
+    print(
+        f"\nCBM assessment: {assessment.episode_count} episodes, "
+        f"rate {assessment.current_rate_per_s:.2f}/s "
+        f"(trend x{assessment.rate_trend:.1f}), "
+        f"RUL ~{assessment.remaining_useful_life_s:.0f}s"
+        if assessment.remaining_useful_life_s is not None
+        else "\nCBM assessment: insufficient trend for a RUL estimate"
+    )
+    print(f"CBM recommendation: {assessment.recommendation.value}")
+
+    rows = [
+        [str(v.fru), v.fault_class.value, f"{v.confidence:.2f}"]
+        for v in diagnosis.verdicts()
+    ]
+    print(
+        render_table(
+            ["FRU", "diagnosed class", "confidence"],
+            rows or [["-", "-", "-"]],
+            title="\nVerdicts (condition-based maintenance input)",
+        )
+    )
+    print(
+        "\nThe rising transient rate is attributed to component-internal\n"
+        "wearout: the maintenance action is a planned replacement of comp3\n"
+        "before a hard failure occurs (condition-based maintenance)."
+    )
+
+
+if __name__ == "__main__":
+    main()

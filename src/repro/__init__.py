@@ -1,0 +1,45 @@
+"""repro — reproduction of the DECOS maintenance-oriented fault model.
+
+Peti, Obermaisser, Ademaj, Kopetz: "A Maintenance-Oriented Fault Model for
+the DECOS Integrated Diagnostic Architecture", IPPS 2005.
+
+Public API layout:
+
+* :mod:`repro.core` — the maintenance-oriented fault model, ONAs,
+  alpha-count, trust levels, classification, maintenance actions, fleet
+  analysis (the paper's contribution);
+* :mod:`repro.tta` — time-triggered core architecture substrate;
+* :mod:`repro.components` — DECOS components, jobs, DASs, virtual networks;
+* :mod:`repro.faults` — ground-truth-labelled fault injection;
+* :mod:`repro.reliability` — bathtub/Weibull/FIT/Pecht models;
+* :mod:`repro.diagnosis` — detection, dissemination, diagnostic DAS, OBD
+  baseline;
+* :mod:`repro.analysis` — scoring and report rendering;
+* :mod:`repro.presets` — ready-made reference clusters (incl. Fig. 10).
+"""
+
+from repro.components.cluster import Cluster, ClusterSpec
+from repro.core.fault_model import FaultClass, FaultDescriptor, FruKind, FruRef
+from repro.core.maintenance import MaintenanceAction
+from repro.diagnosis.diag_das import DiagnosticService
+from repro.faults.injector import FaultInjector
+from repro.presets import avionics_cluster, figure10_cluster, gateway_cluster, small_cluster
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Cluster",
+    "ClusterSpec",
+    "FaultClass",
+    "FaultDescriptor",
+    "FruKind",
+    "FruRef",
+    "MaintenanceAction",
+    "DiagnosticService",
+    "FaultInjector",
+    "avionics_cluster",
+    "figure10_cluster",
+    "gateway_cluster",
+    "small_cluster",
+    "__version__",
+]

@@ -1,0 +1,190 @@
+"""Command-line front door: ``python -m repro <command>``.
+
+Commands
+--------
+``demo``
+    Run the quickstart scenario (build the Fig. 10 cluster, inject two
+    faults, print the health reports).
+``campaign``
+    Run the full scenario catalogue and print the classification score and
+    the NFF comparison against the OBD baseline.
+``scenario NAME``
+    Run one named scenario from the catalogue (see ``list``).
+``list``
+    List the scenario catalogue.
+``bathtub``
+    Print the Fig. 7 bathtub curve as an ASCII series.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.reports import render_series, render_table
+
+
+def cmd_demo(args: argparse.Namespace) -> int:
+    from repro import DiagnosticService, FaultInjector, figure10_cluster
+    from repro.units import ms, seconds
+
+    parts = figure10_cluster(seed=args.seed)
+    cluster = parts.cluster
+    diagnosis = DiagnosticService(cluster, collector="comp5")
+    diagnosis.add_tmr_monitor(parts.tmr_monitor)
+    injector = FaultInjector(cluster)
+    injector.inject_permanent_internal("comp2", at_us=ms(500))
+    injector.inject_software_bohrbug("A2", at_us=seconds(1))
+    cluster.run(seconds(2))
+    rows = [
+        [
+            str(r.fru),
+            f"{r.trust:.2f}",
+            r.verdict.fault_class.value if r.verdict else "-",
+            r.recommendation.action.value if r.recommendation else "-",
+        ]
+        for r in diagnosis.health_reports()
+    ]
+    print(
+        render_table(
+            ["FRU", "trust", "class", "action"],
+            rows,
+            title="Health reports after 2 s with two injected faults",
+        )
+    )
+    return 0
+
+
+def cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.analysis.scenarios import CATALOGUE, run_campaign
+
+    print(f"running {len(CATALOGUE)} scenarios ...")
+    result = run_campaign(seeds=(args.seed,))
+    matrix = result.score.matrix
+    print(
+        render_table(
+            ["true \\ diagnosed"] + matrix.labels(),
+            matrix.rows(),
+            title="Classification confusion matrix",
+        )
+    )
+    print(
+        render_table(
+            ["strategy", "removals", "NFF", "ratio", "wasted $"],
+            [
+                [
+                    "integrated",
+                    result.integrated_cost.removals,
+                    result.integrated_cost.nff_removals,
+                    f"{result.integrated_cost.nff_ratio:.0%}",
+                    f"{result.integrated_cost.wasted_cost_usd:,.0f}",
+                ],
+                [
+                    "OBD baseline",
+                    result.obd_cost.removals,
+                    result.obd_cost.nff_removals,
+                    f"{result.obd_cost.nff_ratio:.0%}",
+                    f"{result.obd_cost.wasted_cost_usd:,.0f}",
+                ],
+            ],
+            title="NFF economics",
+        )
+    )
+    print(f"accuracy: {result.score.accuracy:.0%}")
+    return 0
+
+
+def cmd_scenario(args: argparse.Namespace) -> int:
+    from repro.analysis.scenarios import CATALOGUE, run_scenario
+
+    by_name = {s.name: s for s in CATALOGUE}
+    if args.name not in by_name:
+        print(f"unknown scenario {args.name!r}; try: python -m repro list")
+        return 2
+    run = run_scenario(by_name[args.name], seed=args.seed)
+    print(f"scenario {args.name}: injected {run.descriptor.fault_class.value}")
+    for verdict in run.verdicts:
+        print(
+            f"  verdict: {verdict.fru} -> {verdict.fault_class.value} "
+            f"(confidence {verdict.confidence:.2f}, "
+            f"{verdict.persistence.value})"
+        )
+    predicted = run.predicted_class
+    print(
+        "  result: "
+        + (
+            "correct"
+            if predicted is run.scenario.expected_class
+            else f"expected {run.scenario.expected_class.value}, got {predicted}"
+        )
+    )
+    return 0
+
+
+def cmd_list(args: argparse.Namespace) -> int:
+    from repro.analysis.scenarios import CATALOGUE
+
+    print(
+        render_table(
+            ["scenario", "true class", "duration [s]"],
+            [
+                [s.name, s.expected_class.value, s.duration_us / 1e6]
+                for s in CATALOGUE
+            ],
+            title="Scenario catalogue",
+        )
+    )
+    return 0
+
+
+def cmd_bathtub(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.reliability.bathtub import BathtubModel
+    from repro.units import HOURS_PER_YEAR
+
+    model = BathtubModel()
+    t, h = model.curve(30 * HOURS_PER_YEAR, points=2_000)
+    idx = np.unique(np.logspace(0, np.log10(len(t) - 1), 16).astype(int))
+    print(
+        render_series(
+            [f"{t[i] / HOURS_PER_YEAR:.2f}y" for i in idx],
+            [float(h[i]) for i in idx],
+            x_label="age",
+            y_label="h(t) [1/h]",
+            title="Bathtub curve (Fig. 7)",
+            log_y=True,
+        )
+    )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="DECOS maintenance-oriented fault model reproduction",
+    )
+    parser.add_argument("--seed", type=int, default=42)
+    sub = parser.add_subparsers(dest="command")
+    sub.add_parser("demo", help="quickstart demo")
+    sub.add_parser("campaign", help="full classification campaign")
+    scenario = sub.add_parser("scenario", help="run one named scenario")
+    scenario.add_argument("name")
+    sub.add_parser("list", help="list the scenario catalogue")
+    sub.add_parser("bathtub", help="print the Fig. 7 curve")
+    args = parser.parse_args(argv)
+    commands = {
+        "demo": cmd_demo,
+        "campaign": cmd_campaign,
+        "scenario": cmd_scenario,
+        "list": cmd_list,
+        "bathtub": cmd_bathtub,
+    }
+    if args.command is None:
+        parser.print_help()
+        return 1
+    return commands[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

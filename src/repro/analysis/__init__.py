@@ -1,0 +1,45 @@
+"""Experiment analysis: scoring metrics and report rendering."""
+
+from repro.analysis.metrics import (
+    CampaignScore,
+    ConfusionMatrix,
+    evaluate_recommendations,
+    removal_justified,
+    score_campaign,
+)
+from repro.analysis.fleet_sim import (
+    DiagnosedFleetResult,
+    simulate_diagnosed_fleet,
+)
+from repro.analysis.reports import fmt, render_series, render_table
+from repro.analysis.scenarios import (
+    CATALOGUE,
+    CampaignResult,
+    Scenario,
+    ScenarioRun,
+    component_level_scenarios,
+    job_level_scenarios,
+    run_campaign,
+    run_scenario,
+)
+
+__all__ = [
+    "CampaignScore",
+    "ConfusionMatrix",
+    "evaluate_recommendations",
+    "removal_justified",
+    "score_campaign",
+    "fmt",
+    "render_series",
+    "render_table",
+    "DiagnosedFleetResult",
+    "simulate_diagnosed_fleet",
+    "CATALOGUE",
+    "CampaignResult",
+    "Scenario",
+    "ScenarioRun",
+    "component_level_scenarios",
+    "job_level_scenarios",
+    "run_campaign",
+    "run_scenario",
+]

@@ -1,0 +1,120 @@
+"""End-to-end fleet simulation: from on-board diagnosis to OEM analysis.
+
+This closes the software-fault path of §V-C: every vehicle of a fleet runs
+the full integrated diagnostic architecture; some vehicles carry a latent
+Heisenbug in one of their non safety-critical jobs (which job follows the
+20-80 distribution across the fleet); the on-board diagnoses produce
+job-inherent-software verdicts that are "forwarded to the OEM"; the OEM
+correlates them per job type and identifies the faulty modules.
+
+Unlike :func:`repro.core.fleet.synthesize_fleet` (which draws failure
+*counts* from the published distribution shape), every report here is the
+outcome of an actual simulated vehicle with the full detection →
+dissemination → assessment pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.fault_model import FaultClass
+from repro.core.fleet import FleetReport, pareto_rates
+from repro.diagnosis.diag_das import DiagnosticService
+from repro.errors import AnalysisError
+from repro.faults.injector import FaultInjector
+from repro.presets import figure10_cluster
+from repro.units import ms, seconds
+
+#: Non safety-critical jobs of the reference vehicle that can carry a
+#: latent software design fault (§III-E assumes safety-critical jobs are
+#: certified free of design faults).
+CANDIDATE_JOBS: tuple[str, ...] = ("A1", "A2", "A3", "B1", "C2")
+
+
+@dataclass(frozen=True, slots=True)
+class DiagnosedFleetResult:
+    """Outcome of a simulated, diagnosed fleet."""
+
+    report: FleetReport
+    vehicles_simulated: int
+    vehicles_with_fault: int
+    vehicles_detected: int
+
+    @property
+    def detection_rate(self) -> float:
+        if self.vehicles_with_fault == 0:
+            return 0.0
+        return self.vehicles_detected / self.vehicles_with_fault
+
+
+def simulate_diagnosed_fleet(
+    n_vehicles: int,
+    seed: int = 0,
+    fault_probability: float = 0.6,
+    manifest_prob: float = 0.04,
+    drive_duration_us: int = seconds(2),
+    hot_fraction: float = 0.2,
+    hot_share: float = 0.8,
+) -> DiagnosedFleetResult:
+    """Simulate ``n_vehicles`` full vehicles and collect OEM field data.
+
+    Each vehicle, with probability ``fault_probability``, ships with a
+    Heisenbug in one candidate job; which job is drawn from the 20-80
+    distribution over job types.  The vehicle then drives
+    ``drive_duration_us`` with the integrated diagnosis running; every
+    job-inherent-software verdict becomes one field report.
+    """
+    if n_vehicles < 1:
+        raise AnalysisError("need at least one vehicle")
+    if not 0.0 <= fault_probability <= 1.0:
+        raise AnalysisError("fault_probability must be in [0, 1]")
+    rng = np.random.default_rng(seed)
+    rates, hot_mask = pareto_rates(
+        len(CANDIDATE_JOBS), 1.0, hot_fraction, hot_share
+    )
+    probabilities = rates / rates.sum()
+
+    counts = np.zeros((n_vehicles, len(CANDIDATE_JOBS)), dtype=np.int64)
+    with_fault = 0
+    detected = 0
+    for vehicle in range(n_vehicles):
+        vehicle_seed = seed * 100_003 + vehicle
+        faulty_job: str | None = None
+        if rng.random() < fault_probability:
+            faulty_job = CANDIDATE_JOBS[
+                int(rng.choice(len(CANDIDATE_JOBS), p=probabilities))
+            ]
+            with_fault += 1
+        parts = figure10_cluster(seed=vehicle_seed)
+        service = DiagnosticService(parts.cluster, collector="comp5")
+        if faulty_job is not None:
+            FaultInjector(parts.cluster).inject_software_heisenbug(
+                faulty_job, ms(100), manifest_prob=manifest_prob
+            )
+        parts.cluster.run(drive_duration_us)
+        vehicle_detected = False
+        for verdict in service.verdicts():
+            if verdict.fault_class is not FaultClass.JOB_INHERENT_SOFTWARE:
+                continue
+            job = verdict.fru.name
+            if job in CANDIDATE_JOBS:
+                counts[vehicle, CANDIDATE_JOBS.index(job)] += 1
+                if job == faulty_job:
+                    vehicle_detected = True
+        if vehicle_detected:
+            detected += 1
+
+    hot_types = frozenset(
+        name for name, is_hot in zip(CANDIDATE_JOBS, hot_mask) if is_hot
+    )
+    report = FleetReport(
+        job_types=CANDIDATE_JOBS, counts=counts, hot_types=hot_types
+    )
+    return DiagnosedFleetResult(
+        report=report,
+        vehicles_simulated=n_vehicles,
+        vehicles_with_fault=with_fault,
+        vehicles_detected=detected,
+    )

@@ -1,0 +1,91 @@
+"""Plain-text table rendering for benches and examples.
+
+The benchmark harness prints the paper's figures as ASCII tables/series;
+this module keeps the formatting in one place so every bench output looks
+alike.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+
+def fmt(value, precision: int = 3) -> str:
+    """Uniform scalar formatting for table cells."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0.0:
+            return "0"
+        if abs(value) >= 1e5 or 0 < abs(value) < 1e-3:
+            return f"{value:.{precision}e}"
+        return f"{value:.{precision}g}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    title: str | None = None,
+    precision: int = 3,
+) -> str:
+    """Render rows as a boxed, column-aligned ASCII table."""
+    str_rows = [[fmt(cell, precision) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            if i < len(widths):
+                widths[i] = max(widths[i], len(cell))
+            else:
+                widths.append(len(cell))
+    sep = "+" + "+".join("-" * (w + 2) for w in widths) + "+"
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append(sep)
+    lines.append(
+        "|"
+        + "|".join(f" {h:<{w}} " for h, w in zip(headers, widths))
+        + "|"
+    )
+    lines.append(sep)
+    for row in str_rows:
+        padded = list(row) + [""] * (len(widths) - len(row))
+        lines.append(
+            "|"
+            + "|".join(f" {c:<{w}} " for c, w in zip(padded, widths))
+            + "|"
+        )
+    lines.append(sep)
+    return "\n".join(lines)
+
+
+def render_series(
+    x: Sequence,
+    y: Sequence,
+    x_label: str = "x",
+    y_label: str = "y",
+    title: str | None = None,
+    width: int = 50,
+    log_y: bool = False,
+) -> str:
+    """Render an (x, y) series as a horizontal ASCII bar sparkline table —
+    the benches' stand-in for the paper's curve figures."""
+    import math
+
+    values = [float(v) for v in y]
+    if log_y:
+        floor = min(v for v in values if v > 0) if any(v > 0 for v in values) else 1.0
+        scaled = [math.log10(max(v, floor)) for v in values]
+    else:
+        scaled = values
+    lo, hi = min(scaled), max(scaled)
+    span = (hi - lo) or 1.0
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append(f"{x_label:>12} | {y_label}")
+    for xi, yi, si in zip(x, values, scaled):
+        bar = "#" * max(1, int(round((si - lo) / span * width)))
+        lines.append(f"{fmt(xi):>12} | {bar} {fmt(yi)}")
+    return "\n".join(lines)

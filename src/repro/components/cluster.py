@@ -1,0 +1,409 @@
+"""Cluster assembly and the time-triggered runtime.
+
+A :class:`Cluster` wires together every substrate piece — TDMA schedule,
+replicated bus, components with partitions and jobs, virtual networks,
+clock synchronisation, membership and bus guardians — and drives them on a
+:class:`repro.sim.engine.Simulator`.
+
+The runtime emits anomaly records into a :class:`TraceRecorder` and offers
+three extension hooks used by the diagnostic architecture:
+
+* ``payload_contributors`` add extra virtual-network payload to outgoing
+  frames (the virtual *diagnostic* network piggybacks symptom messages
+  this way);
+* ``payload_consumers`` see every successfully received frame (the
+  diagnostic DAS consumes symptom messages);
+* ``frame_observers`` see every slot outcome, including omissions (the
+  local detectors of the diagnostic service).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import ConfigurationError
+from repro.sim.engine import PRIORITY_NETWORK, Simulator
+from repro.sim.rng import RngRegistry
+from repro.sim.trace import TraceRecorder
+from repro.tta.frames import Frame
+from repro.tta.guardian import BusGuardian
+from repro.tta.membership import MembershipService
+from repro.tta.network import Bus, Delivery, DeliveryStatus
+from repro.tta.sync import SyncService, achieved_precision_us
+from repro.tta.tdma import SlotPosition, TdmaSchedule
+from repro.tta.time_base import SparseTimeBase
+from repro.components.component import Component, ComponentSpec
+from repro.components.das import DasSpec
+from repro.components.virtual_network import VirtualNetwork
+
+FrameObserver = Callable[[SlotPosition, Frame | None, dict[str, Delivery], int], None]
+PayloadContributor = Callable[[str, SlotPosition, int], dict[str, tuple[Any, ...]]]
+PayloadConsumer = Callable[[str, Frame, int], None]
+
+
+@dataclass(frozen=True, slots=True)
+class ClusterSpec:
+    """Static cluster description.
+
+    Attributes
+    ----------
+    components:
+        Component specifications (one TDMA slot each, in order).
+    dases:
+        DAS specifications; every DAS job must be placed on exactly one
+        component partition.
+    slot_length_us:
+        TDMA slot duration.
+    channels:
+        Replicated physical channels (2 for TTP/C-style buses).
+    sync_k:
+        Fault-tolerance degree of the FTA clock synchronisation.
+    lattice_granularity_us:
+        Action-lattice granularity of the sparse time base; defaults to the
+        slot length (one lattice point per slot).
+    """
+
+    components: tuple[ComponentSpec, ...]
+    dases: tuple[DasSpec, ...] = ()
+    slot_length_us: int = 1_000
+    channels: int = 2
+    sync_k: int = 1
+    lattice_granularity_us: int | None = None
+
+    def __post_init__(self) -> None:
+        if not self.components:
+            raise ConfigurationError("cluster needs at least one component")
+        names = [c.name for c in self.components]
+        if len(names) != len(set(names)):
+            raise ConfigurationError("duplicate component names")
+        das_names = [d.name for d in self.dases]
+        if len(das_names) != len(set(das_names)):
+            raise ConfigurationError("duplicate DAS names")
+
+
+class Cluster:
+    """Runtime cluster: build from a spec, then :meth:`run`.
+
+    Parameters
+    ----------
+    spec:
+        The static cluster description.
+    vns:
+        Virtual networks keyed by name.  Links must connect ports of jobs
+        belonging to the VN's own DAS (encapsulation); validated here.
+    seed:
+        Master seed for all stochastic elements.
+    """
+
+    def __init__(
+        self,
+        spec: ClusterSpec,
+        vns: dict[str, VirtualNetwork] | None = None,
+        seed: int = 0,
+    ) -> None:
+        self.spec = spec
+        self.rng = RngRegistry(seed)
+        self.sim = Simulator()
+        self.trace = TraceRecorder()
+        self.schedule = TdmaSchedule(
+            tuple(c.name for c in spec.components), spec.slot_length_us
+        )
+        self.bus = Bus(spec.channels, self.rng.stream("bus"))
+        self.components: dict[str, Component] = {}
+        for cspec in spec.components:
+            component = Component(cspec)
+            self.components[cspec.name] = component
+            self.bus.attach(cspec.name, cspec.position)
+        self.dases: dict[str, DasSpec] = {d.name: d for d in spec.dases}
+        self.vns: dict[str, VirtualNetwork] = dict(vns or {})
+        self.job_location: dict[str, str] = {}
+        for component in self.components.values():
+            for job in component.jobs():
+                if job.name in self.job_location:
+                    raise ConfigurationError(
+                        f"job {job.name!r} placed on multiple components"
+                    )
+                self.job_location[job.name] = component.name
+        self._validate_placement()
+        self._validate_vns()
+
+        drifts = [c.drift_ppm for c in spec.components]
+        precision = achieved_precision_us(
+            drifts if any(drifts) else [1.0],
+            self.schedule.round_length_us,
+            spec.sync_k,
+        )
+        granularity = (
+            spec.lattice_granularity_us
+            if spec.lattice_granularity_us is not None
+            else spec.slot_length_us
+        )
+        if granularity <= 2 * precision:
+            precision = max(0, (granularity - 1) // 2)
+        self.time_base = SparseTimeBase(granularity, int(precision))
+
+        participants = self.schedule.participants()
+        self.memberships: dict[str, MembershipService] = {
+            name: MembershipService(name, participants)
+            for name in self.components
+        }
+        self.sync_services: dict[str, SyncService] = {
+            name: SyncService(spec.sync_k) for name in self.components
+        }
+        # Guardian window: wide enough for synchronised-clock jitter and the
+        # cluster's common-mode drift against the guardian's reference, yet
+        # a small fraction of the slot, so babbling and gross timing faults
+        # are still cut off.
+        guardian_tolerance = max(4 * int(precision), spec.slot_length_us // 10, 2)
+        self.guardians: dict[str, BusGuardian] = {
+            name: BusGuardian(
+                name,
+                self.schedule,
+                window_tolerance_us=guardian_tolerance,
+            )
+            for name in self.components
+        }
+
+        self.frame_observers: list[FrameObserver] = []
+        self.payload_contributors: list[PayloadContributor] = []
+        self.payload_consumers: list[PayloadConsumer] = []
+
+        self._started = False
+        self.slots_elapsed = 0
+
+    # -- validation ---------------------------------------------------------
+
+    def _validate_placement(self) -> None:
+        for das in self.dases.values():
+            for job_spec in das.jobs:
+                if job_spec.name not in self.job_location:
+                    raise ConfigurationError(
+                        f"job {job_spec.name!r} of DAS {das.name!r} is not "
+                        "placed on any component"
+                    )
+
+    def _validate_vns(self) -> None:
+        for vn in self.vns.values():
+            if vn.das == "diagnostic":
+                continue  # diagnostic VN is wired by the diagnosis layer
+            das = self.dases.get(vn.das)
+            if das is None:
+                raise ConfigurationError(
+                    f"virtual network {vn.name!r} references unknown DAS "
+                    f"{vn.das!r}"
+                )
+            das_jobs = set(das.job_names())
+            for source in vn.sources():
+                if source.job not in das_jobs:
+                    raise ConfigurationError(
+                        f"VN {vn.name!r} sources from job {source.job!r} "
+                        f"outside DAS {vn.das!r} (encapsulation violation)"
+                    )
+
+    # -- convenience accessors ------------------------------------------------
+
+    def component(self, name: str) -> Component:
+        try:
+            return self.components[name]
+        except KeyError:
+            raise ConfigurationError(f"unknown component {name!r}") from None
+
+    def job(self, name: str):
+        """The runtime job instance with this name, wherever it is hosted."""
+        location = self.job_location.get(name)
+        if location is None:
+            raise ConfigurationError(f"unknown job {name!r}")
+        return self.components[location].job(name)
+
+    def component_of_job(self, job_name: str) -> str:
+        try:
+            return self.job_location[job_name]
+        except KeyError:
+            raise ConfigurationError(f"unknown job {job_name!r}") from None
+
+    def set_sensor(self, job_name: str, sensor: str, value: float) -> None:
+        """Set the physical value a job's sensor would read."""
+        self.job(job_name).sensors[sensor] = float(value)
+
+    @property
+    def now(self) -> int:
+        return self.sim.now
+
+    # -- runtime ------------------------------------------------------------
+
+    def start(self) -> None:
+        """Schedule the communication system; idempotent."""
+        if self._started:
+            return
+        self._started = True
+        self.sim.schedule_at(0, self._on_slot, priority=PRIORITY_NETWORK)
+
+    def run(self, duration_us: int) -> None:
+        """Run the cluster for ``duration_us`` microseconds."""
+        self.start()
+        self.sim.run_for(int(duration_us))
+
+    def run_rounds(self, rounds: int) -> None:
+        """Run for an integral number of TDMA rounds."""
+        self.run(rounds * self.schedule.round_length_us)
+
+    # -- slot processing ------------------------------------------------------
+
+    def _on_slot(self, sim: Simulator) -> None:
+        now = sim.now
+        slot = self.schedule.slot_at(now)
+        self.slots_elapsed += 1
+        sender = self.components[slot.sender]
+
+        frame = sender.build_frame(
+            slot,
+            now,
+            self.vns,
+            membership=self.memberships[slot.sender].view(),
+        )
+
+        # Babbling components attempt transmissions in foreign slots; the
+        # guardians cut them off (strong fault isolation, C3).
+        for name, component in self.components.items():
+            if name == slot.sender or not component.hardware.babbling:
+                continue
+            if not component.operational(now):
+                continue
+            decision = self.guardians[name].check(now + 1)
+            if not decision.allowed:
+                self.trace.record(
+                    now, "guardian.blocked", name, reason=decision.reason
+                )
+
+        deliveries: dict[str, Delivery] = {}
+        if frame is not None:
+            contributions: dict[str, tuple[Any, ...]] = {}
+            for contributor in self.payload_contributors:
+                for vn_name, messages in contributor(
+                    slot.sender, slot, now
+                ).items():
+                    contributions[vn_name] = (
+                        contributions.get(vn_name, ()) + tuple(messages)
+                    )
+            if contributions:
+                payload = dict(frame.payload)
+                for vn_name, messages in contributions.items():
+                    payload[vn_name] = payload.get(vn_name, ()) + messages
+                frame = Frame(
+                    sender=frame.sender,
+                    slot=frame.slot,
+                    send_time_us=frame.send_time_us,
+                    payload=payload,
+                    crc_valid=frame.crc_valid,
+                    bit_flips=frame.bit_flips,
+                    membership=frame.membership,
+                )
+            decision = self.guardians[slot.sender].check(frame.send_time_us)
+            if decision.allowed:
+                deliveries = self.bus.broadcast(frame, now)
+            else:
+                self.trace.record(
+                    now,
+                    "guardian.blocked",
+                    slot.sender,
+                    reason=decision.reason,
+                    in_slot=True,
+                )
+                frame = None  # never reached the medium
+        else:
+            self.trace.record(now, "frame.silent", slot.sender)
+
+        # Local loopback: jobs hosted on the sending component receive the
+        # VN messages of their co-hosted producers without a bus hop.
+        if frame is not None and sender.operational(now):
+            self._deliver_payload(slot.sender, sender, frame, now)
+
+        self._process_deliveries(slot, frame, deliveries, now)
+
+        for observer in self.frame_observers:
+            observer(slot, frame, deliveries, now)
+
+        # Round boundary: apply clock corrections.
+        if slot.slot_index == self.schedule.slots_per_round - 1:
+            self._end_of_round(now)
+
+        sim.schedule_at(slot.end_us, self._on_slot, priority=PRIORITY_NETWORK)
+
+    def _process_deliveries(
+        self,
+        slot: SlotPosition,
+        frame: Frame | None,
+        deliveries: dict[str, Delivery],
+        now: int,
+    ) -> None:
+        for name, component in self.components.items():
+            if name == slot.sender:
+                continue
+            receiving = component.operational(now)
+            delivery = deliveries.get(name)
+            ok = (
+                receiving
+                and delivery is not None
+                and delivery.status is DeliveryStatus.RECEIVED
+            )
+            if receiving:
+                self.memberships[name].observe(slot.sender, ok, now)
+            if not receiving:
+                continue
+            if delivery is None or delivery.status is DeliveryStatus.OMITTED:
+                self.trace.record(
+                    now, "delivery.omitted", name, sender=slot.sender
+                )
+                continue
+            if delivery.status is DeliveryStatus.CORRUPTED:
+                self.trace.record(
+                    now,
+                    "delivery.corrupted",
+                    name,
+                    sender=slot.sender,
+                    bit_flips=delivery.frame.bit_flips if delivery.frame else 0,
+                )
+                continue
+            # Successful reception: clock sync measurement + port delivery.
+            received = delivery.frame
+            assert received is not None
+            deviation = received.send_time_us - (
+                slot.start_us + component.clock.error(now)
+            )
+            self.sync_services[name].observe(deviation)
+            self._deliver_payload(name, component, received, now)
+            for consumer in self.payload_consumers:
+                consumer(name, received, now)
+
+    def _deliver_payload(
+        self, receiver: str, component: Component, frame: Frame, now: int
+    ) -> None:
+        for vn_name, messages in frame.payload.items():
+            vn = self.vns.get(vn_name)
+            if vn is None:
+                continue
+            for message in messages:
+                for dest in vn.route(message):
+                    if self.job_location.get(dest.job) != receiver:
+                        continue
+                    job = component.job(dest.job)
+                    accepted = job.port(dest.port).push(message)
+                    if not accepted:
+                        self.trace.record(
+                            now,
+                            "port.overflow",
+                            dest.job,
+                            port=dest.port,
+                            vn=vn_name,
+                        )
+
+    def _end_of_round(self, now: int) -> None:
+        for name, component in self.components.items():
+            if not component.operational(now):
+                self.sync_services[name].round_correction()  # discard
+                continue
+            correction = self.sync_services[name].round_correction()
+            if correction is not None:
+                component.clock.apply_correction(correction, now)

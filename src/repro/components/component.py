@@ -1,0 +1,218 @@
+"""DECOS components — the FRUs/FCRs for hardware faults.
+
+A component is a node computer implemented as a system-on-a-chip with
+shared physical resources (§II-E).  It is vertically structured into a
+safety-critical and a non safety-critical subsystem and horizontally into
+the communication-controller layer (realising the core and high-level
+services) and the application layer hosting one job per partition (§II-C,
+Fig. 2).
+
+Because processor, power supply and quartz are shared, a component-internal
+hardware fault affects *all* hosted jobs regardless of their DAS, while
+software faults stay inside their partition — the structural property the
+maintenance-oriented classification leans on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.components.job import Job
+from repro.components.partition import Partition, PartitionSpec
+from repro.components.ports import Message
+from repro.components.virtual_network import VirtualNetwork
+from repro.tta.clock import LocalClock
+from repro.tta.frames import Frame
+from repro.tta.tdma import SlotPosition
+
+
+@dataclass(frozen=True, slots=True)
+class ComponentSpec:
+    """Static description of one component.
+
+    Attributes
+    ----------
+    name:
+        Component identifier, unique within the cluster.
+    partitions:
+        Partition specifications; cpu shares must sum to at most 1.
+    position:
+        Physical mounting position (metres, arbitrary origin) — used for
+        the spatial-proximity dimension of fault patterns (EMI zones).
+    drift_ppm:
+        Nominal quartz drift.
+    """
+
+    name: str
+    partitions: tuple[PartitionSpec, ...] = ()
+    position: tuple[float, float] = (0.0, 0.0)
+    drift_ppm: float = 0.0
+
+    def __post_init__(self) -> None:
+        names = [p.name for p in self.partitions]
+        if len(names) != len(set(names)):
+            raise ConfigurationError(
+                f"duplicate partition names on component {self.name!r}"
+            )
+        jobs = [p.job.name for p in self.partitions]
+        if len(jobs) != len(set(jobs)):
+            raise ConfigurationError(
+                f"duplicate job names on component {self.name!r}"
+            )
+        total_share = sum(p.cpu_share for p in self.partitions)
+        if total_share > 1.0 + 1e-9:
+            raise ConfigurationError(
+                f"partition cpu shares on {self.name!r} sum to "
+                f"{total_share:.3f} > 1"
+            )
+
+
+@dataclass(slots=True)
+class HardwareState:
+    """Mutable hardware fault state of one component (managed by
+    :mod:`repro.faults`)."""
+
+    transient_outage_until_us: int = -1
+    permanently_failed: bool = False
+    babbling: bool = False
+    corrupt_tx_bits: int = 0  # >0: internal fault flips bits at the source
+    timing_offset_us: float = 0.0  # quartz/driver fault beyond sync reach
+    restarts: int = 0
+    replacements: int = 0
+
+    def operational(self, now_us: int) -> bool:
+        return not self.permanently_failed and now_us >= self.transient_outage_until_us
+
+
+class Component:
+    """Runtime instance of a component in a cluster."""
+
+    def __init__(self, spec: ComponentSpec, rng=None) -> None:
+        self.spec = spec
+        self.name = spec.name
+        self.position = spec.position
+        self.partitions: dict[str, Partition] = {
+            p.name: Partition(p) for p in spec.partitions
+        }
+        self.clock = LocalClock(drift_ppm=spec.drift_ppm, rng=rng)
+        self.hardware = HardwareState()
+        #: Incremented on every FRU replacement; fault effects scheduled
+        #: against the old unit check this and no longer apply.
+        self.hardware_generation = 0
+        self.frames_sent = 0
+        self.frames_missed = 0
+
+    # -- structure ----------------------------------------------------------
+
+    def jobs(self) -> list[Job]:
+        return [p.job for p in self.partitions.values()]
+
+    def job(self, name: str) -> Job:
+        for partition in self.partitions.values():
+            if partition.job.name == name:
+                return partition.job
+        raise ConfigurationError(
+            f"component {self.name!r} hosts no job {name!r}"
+        )
+
+    def hosts_job(self, name: str) -> bool:
+        return any(p.job.name == name for p in self.partitions.values())
+
+    def das_names(self) -> frozenset[str]:
+        """All DASs with at least one job on this component."""
+        return frozenset(p.das for p in self.partitions.values())
+
+    def safety_critical_partitions(self) -> list[Partition]:
+        return [p for p in self.partitions.values() if p.safety_critical]
+
+    def non_safety_critical_partitions(self) -> list[Partition]:
+        return [p for p in self.partitions.values() if not p.safety_critical]
+
+    # -- execution ----------------------------------------------------------
+
+    def operational(self, now_us: int) -> bool:
+        """True when the shared hardware currently executes."""
+        return self.hardware.operational(now_us)
+
+    def dispatch_jobs(self, now_us: int) -> dict[str, list[Message]]:
+        """Dispatch every hosted job once; returns messages per job.
+
+        A component in outage dispatches nothing (all jobs fail together:
+        the correlated-failure signature of an internal hardware fault).
+        """
+        if not self.operational(now_us):
+            return {}
+        return {
+            partition.job.name: partition.job.dispatch(now_us)
+            for partition in self.partitions.values()
+        }
+
+    def build_frame(
+        self,
+        slot: SlotPosition,
+        now_us: int,
+        vns: dict[str, VirtualNetwork],
+        membership: frozenset[str] = frozenset(),
+    ) -> Frame | None:
+        """Assemble the frame for this component's slot occurrence.
+
+        Returns None when the component is silent (outage / permanent
+        failure): the fail-silent manifestation every receiver detects as
+        an omission.
+        """
+        if not self.operational(now_us):
+            self.frames_missed += 1
+            return None
+        outputs = self.dispatch_jobs(now_us)
+        payload: dict[str, tuple[Message, ...]] = {}
+        for vn_name, vn in vns.items():
+            vn_messages = [
+                msg
+                for messages in outputs.values()
+                for msg in messages
+                if vn.has_route(msg)
+            ]
+            # admit() applies the per-slot bandwidth budget
+            admitted = vn.admit(vn_messages)
+            if admitted:
+                payload[vn_name] = tuple(admitted)
+        send_time = slot.start_us + self.clock.error(now_us) + self.hardware.timing_offset_us
+        frame = Frame(
+            sender=self.name,
+            slot=slot,
+            send_time_us=send_time,
+            payload=payload,
+            membership=membership,
+        )
+        if self.hardware.corrupt_tx_bits > 0:
+            frame = frame.corrupted(self.hardware.corrupt_tx_bits)
+        self.frames_sent += 1
+        return frame
+
+    # -- maintenance actions ------------------------------------------------
+
+    def restart(self, now_us: int) -> None:
+        """Restart with state synchronisation — recovery from external
+        transient faults (§III-C)."""
+        self.hardware.transient_outage_until_us = min(
+            self.hardware.transient_outage_until_us, now_us
+        )
+        self.hardware.babbling = False
+        self.hardware.corrupt_tx_bits = 0
+        self.clock.resynchronise(now_us)
+        self.hardware.restarts += 1
+
+    def replace(self, now_us: int) -> None:
+        """Replace the FRU — the maintenance action for internal hardware
+        faults (Fig. 11).  Produces a factory-fresh hardware state."""
+        self.hardware = HardwareState(replacements=self.hardware.replacements + 1)
+        self.hardware_generation += 1
+        self.clock = LocalClock(drift_ppm=self.spec.drift_ppm)
+        self.clock.resynchronise(now_us)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Component({self.name!r}, partitions={len(self.partitions)}, "
+            f"das={sorted(self.das_names())})"
+        )

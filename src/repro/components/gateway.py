@@ -1,0 +1,79 @@
+"""Hidden gateways between DASs (high-level service, §II-B).
+
+A hidden gateway interconnects two virtual networks to improve quality of
+service and eliminate resource duplication (e.g. a wheel-speed value
+produced in the chassis DAS consumed by the telematics DAS) without the
+applications being aware of it.  In the simulation a gateway is a regular
+job whose behaviour forwards selected input-port values to output ports
+that are routed on a *different* VN — which keeps the encapsulation
+invariant intact (a VN still only ever delivers into its own DAS's ports;
+crossing happens explicitly at the gateway job).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from typing import Any
+
+from repro.components.job import Behaviour, DispatchContext, JobSpec
+from repro.components.ports import (
+    PortDirection,
+    PortKind,
+    PortSpec,
+    ValueSpec,
+)
+
+
+def gateway_behaviour(forwarding: Mapping[str, str]) -> Behaviour:
+    """Behaviour that copies each IN port's current value to an OUT port.
+
+    Parameters
+    ----------
+    forwarding:
+        Mapping from input-port name to output-port name.
+    """
+
+    def behaviour(ctx: DispatchContext) -> dict[str, Any]:
+        outputs: dict[str, Any] = {}
+        for in_port, out_port in forwarding.items():
+            port = ctx.inputs.get(in_port)
+            if port is None:
+                continue
+            if port.spec.kind is PortKind.STATE:
+                msg = port.read_state()
+                if msg is not None:
+                    outputs[out_port] = msg.value
+            else:
+                msg = port.pop_event()
+                if msg is not None:
+                    outputs[out_port] = msg.value
+        return outputs
+
+    return behaviour
+
+
+def make_gateway_job(
+    name: str,
+    das: str,
+    forwarding: Mapping[str, str],
+    *,
+    safety_critical: bool = False,
+    value_spec: ValueSpec | None = None,
+) -> JobSpec:
+    """Construct a gateway job spec with matching IN/OUT state ports."""
+    spec = value_spec if value_spec is not None else ValueSpec()
+    ports: list[PortSpec] = []
+    for in_port, out_port in forwarding.items():
+        ports.append(
+            PortSpec(in_port, PortDirection.IN, PortKind.STATE, value_spec=spec)
+        )
+        ports.append(
+            PortSpec(out_port, PortDirection.OUT, PortKind.STATE, value_spec=spec)
+        )
+    return JobSpec(
+        name=name,
+        das=das,
+        ports=tuple(ports),
+        behaviour=gateway_behaviour(forwarding),
+        safety_critical=safety_critical,
+    )

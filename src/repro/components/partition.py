@@ -1,0 +1,61 @@
+"""Partitions — encapsulated execution environments within a component.
+
+The encapsulation high-level service establishes spatial and temporal
+partitioning inside a component (§II-C): each job runs in a dedicated
+partition, and a software fault in one partition cannot affect jobs in
+other partitions of the same component.  Only *hardware* faults of the
+shared physical resources (processor, power supply, quartz) break through
+this isolation and hit all partitions at once — the observable signature
+that lets the diagnostic DAS tell a component-internal hardware fault from
+a job-inherent software fault (Fig. 10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.components.job import Job, JobSpec
+
+
+@dataclass(frozen=True, slots=True)
+class PartitionSpec:
+    """Static description of one partition.
+
+    Attributes
+    ----------
+    name:
+        Partition identifier, unique within the component.
+    job:
+        The hosted job's spec (DECOS: one job per partition).
+    cpu_share:
+        Fraction of the application computer's time budget (sums to <= 1
+        per component; validated by the component).
+    """
+
+    name: str
+    job: JobSpec
+    cpu_share: float = 0.1
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.cpu_share <= 1.0:
+            raise ConfigurationError(
+                f"cpu_share must be in (0, 1], got {self.cpu_share}"
+            )
+
+
+class Partition:
+    """Runtime partition hosting exactly one job."""
+
+    def __init__(self, spec: PartitionSpec) -> None:
+        self.spec = spec
+        self.name = spec.name
+        self.job = Job(spec.job)
+        self.safety_critical = spec.job.safety_critical
+
+    @property
+    def das(self) -> str:
+        return self.job.das
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Partition({self.name!r}, job={self.job.name!r})"

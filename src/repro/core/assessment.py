@@ -1,0 +1,284 @@
+"""The diagnostic assessment pipeline (§V, Figs. 9-11).
+
+:class:`DiagnosticAssessment` is the algorithmic heart of the diagnostic
+DAS.  It operates on the distributed state: symptom messages arriving over
+the virtual diagnostic network are deduplicated (several components observe
+the same deviation), windowed on the sparse time base, and evaluated per
+*assessment epoch*:
+
+1. all deployed ONAs are evaluated over the window (deterministic
+   triggers, §V-A);
+2. per-component health observations feed the alpha-count bank (transient
+   rate / persistency discrimination, §V-C);
+3. ONA triggers feed the classifier's evidence ledger;
+4. trust levels are updated — evidence against an FRU lowers its trust,
+   conforming epochs let it recover (the Fig. 9 trajectories);
+5. verdicts plus Fig. 11 maintenance recommendations are produced as
+   :class:`FruHealthReport` records.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+from repro.core.classification import Classifier, Verdict
+from repro.core.fault_model import FaultClass, FruRef, component_fru
+from repro.core.maintenance import (
+    MaintenanceRecommendation,
+    determine_action,
+)
+from repro.core.ona import (
+    OnaContext,
+    OnaTrigger,
+    OutOfNormAssertion,
+    Topology,
+    default_onas,
+)
+from repro.core.symptoms import Symptom, SymptomType
+from repro.core.trust import TrustBank
+from repro.tta.time_base import SparseTimeBase
+
+
+@dataclass(frozen=True, slots=True)
+class EpochResult:
+    """Outcome of one assessment epoch."""
+
+    now_us: int
+    new_symptoms: int
+    triggers: tuple[OnaTrigger, ...]
+    verdicts: tuple[Verdict, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class FruHealthReport:
+    """The diagnostic DAS output for one FRU (§II-D)."""
+
+    fru: FruRef
+    trust: float
+    verdict: Verdict | None
+    recommendation: MaintenanceRecommendation | None
+
+
+class DiagnosticAssessment:
+    """Epoch-driven assessment over the distributed symptom state.
+
+    Parameters
+    ----------
+    topology:
+        Static cluster facts for the ONAs' space dimension.
+    time_base:
+        The sparse time base used for lattice indexing and windows.
+    onas:
+        ONA battery; defaults to :func:`repro.core.ona.default_onas`.
+    window_points:
+        Length of the sliding symptom window in lattice points.  Must be
+        long enough for the slow patterns (wearout trend) to accumulate.
+    classifier / trust:
+        Injectable for parameter studies; sensible defaults otherwise.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        time_base: SparseTimeBase,
+        onas: list[OutOfNormAssertion] | None = None,
+        window_points: int = 5_000,
+        classifier: Classifier | None = None,
+        trust: TrustBank | None = None,
+    ) -> None:
+        self.topology = topology
+        self.time_base = time_base
+        self.onas = onas if onas is not None else default_onas()
+        self.window_points = int(window_points)
+        self.classifier = classifier if classifier is not None else Classifier()
+        self.trust = trust if trust is not None else TrustBank()
+        self._window: list[Symptom] = []
+        self._seen_keys: set[tuple] = set()
+        self._pending: list[Symptom] = []
+        self.symptoms_total = 0
+        self.symptoms_deduplicated = 0
+        self.epochs_run = 0
+        self.trigger_log: list[OnaTrigger] = []
+
+    # -- intake ------------------------------------------------------------
+
+    def submit(self, symptoms: Iterable[Symptom]) -> int:
+        """Queue incoming symptom messages; returns the accepted count.
+
+        Duplicates (the same deviation reported by several observers) are
+        merged via :meth:`Symptom.key`.
+        """
+        accepted = 0
+        for symptom in symptoms:
+            self.symptoms_total += 1
+            key = symptom.key()
+            if key in self._seen_keys:
+                self.symptoms_deduplicated += 1
+                continue
+            self._seen_keys.add(key)
+            self._pending.append(symptom)
+            accepted += 1
+        return accepted
+
+    # -- epoch processing -----------------------------------------------------
+
+    def run_epoch(self, now_us: int) -> EpochResult:
+        """Evaluate one assessment epoch at time ``now_us``."""
+        self.epochs_run += 1
+        new_symptoms = self._pending
+        self._pending = []
+        self._window.extend(new_symptoms)
+        self._prune_window(now_us)
+
+        ctx = OnaContext(
+            now_us=int(now_us),
+            time_base=self.time_base,
+            window=list(self._window),
+            topology=self.topology,
+        )
+        triggers: list[OnaTrigger] = []
+        for ona in self.onas:
+            triggers.extend(ona.evaluate(ctx))
+        self.trigger_log.extend(triggers)
+        self.classifier.ingest(triggers)
+
+        self._feed_alpha_counts(new_symptoms, triggers, now_us)
+        self._update_trust(new_symptoms, triggers, now_us)
+
+        verdicts = tuple(self.classifier.verdicts())
+        return EpochResult(
+            now_us=int(now_us),
+            new_symptoms=len(new_symptoms),
+            triggers=tuple(triggers),
+            verdicts=verdicts,
+        )
+
+    def _prune_window(self, now_us: int) -> None:
+        horizon = self.time_base.lattice_point(now_us) - self.window_points
+        if horizon <= 0:
+            return
+        kept = [s for s in self._window if s.lattice_point >= horizon]
+        if len(kept) != len(self._window):
+            dropped = {
+                s.key() for s in self._window if s.lattice_point < horizon
+            }
+            self._seen_keys -= dropped
+            self._window = kept
+
+    def _feed_alpha_counts(
+        self,
+        new_symptoms: list[Symptom],
+        triggers: list[OnaTrigger],
+        now_us: int,
+    ) -> None:
+        failed: set[str] = set()
+        for s in new_symptoms:
+            if s.subject_job is None and s.type in (
+                SymptomType.OMISSION,
+                SymptomType.CRC_ERROR,
+                SymptomType.TIMING_VIOLATION,
+            ):
+                failed.add(s.subject_component)
+        externally_explained = {
+            t.subject.name
+            for t in triggers
+            if t.fault_class is FaultClass.COMPONENT_EXTERNAL
+        }
+        for component in self.topology.positions:
+            self.classifier.observe_component_epoch(
+                component,
+                failed=component in failed,
+                now_us=now_us,
+                external_evidence=component in externally_explained,
+            )
+
+    def _update_trust(
+        self,
+        new_symptoms: list[Symptom],
+        triggers: list[OnaTrigger],
+        now_us: int,
+    ) -> None:
+        weights: dict[FruRef, float] = defaultdict(float)
+        externally_explained = {
+            t.subject.name
+            for t in triggers
+            if t.fault_class is FaultClass.COMPONENT_EXTERNAL
+        }
+        for trig in triggers:
+            if trig.fault_class is FaultClass.COMPONENT_EXTERNAL:
+                # External disturbances are not the FRU's fault: no demerit.
+                continue
+            weights[trig.subject] += trig.confidence
+        for s in new_symptoms:
+            if (
+                s.subject_job is None
+                and s.type in (SymptomType.OMISSION, SymptomType.CRC_ERROR)
+                and s.subject_component not in externally_explained
+            ):
+                weights[component_fru(s.subject_component)] += 0.25
+        # Every known FRU gets an epoch update; zero weight means recovery.
+        for component in self.topology.positions:
+            fru = component_fru(component)
+            self.trust.update(str(fru), weights.pop(fru, 0.0), now_us)
+        for fru, weight in weights.items():
+            self.trust.update(str(fru), weight, now_us)
+
+    def acknowledge_repair(self, fru: FruRef) -> None:
+        """Reset the diagnostic state of a repaired FRU.
+
+        The replaced/repaired unit starts with a clean record: evidence
+        ledger, alpha-count and trust are cleared, and stale window
+        symptoms about the old unit are purged so they cannot re-trigger
+        ONAs against the new one.
+        """
+        self.classifier.clear(fru)
+        self.trust.level(str(fru)).reset()
+        stale = [
+            s
+            for s in self._window
+            if s.subject_component == fru.name or s.subject_job == fru.name
+        ]
+        if stale:
+            keys = {s.key() for s in stale}
+            self._seen_keys -= keys
+            self._window = [s for s in self._window if s not in stale]
+
+    # -- outputs --------------------------------------------------------------
+
+    def health_reports(
+        self,
+        software_updates_available: frozenset[str] = frozenset(),
+        min_confidence: float = 0.3,
+    ) -> list[FruHealthReport]:
+        """Per-FRU health reports with Fig. 11 recommendations.
+
+        ``software_updates_available`` names jobs for which the OEM has
+        released a corrected version (switches FORWARD_TO_OEM to
+        UPDATE_SOFTWARE).
+        """
+        reports: list[FruHealthReport] = []
+        verdicts = {v.fru: v for v in self.classifier.verdicts(min_confidence)}
+        trust_values = self.trust.values()
+        frus = set(verdicts) | {
+            component_fru(c) for c in self.topology.positions
+        }
+        for fru in sorted(frus, key=str):
+            verdict = verdicts.get(fru)
+            recommendation = None
+            if verdict is not None:
+                recommendation = determine_action(
+                    verdict,
+                    software_update_available=fru.name
+                    in software_updates_available,
+                )
+            reports.append(
+                FruHealthReport(
+                    fru=fru,
+                    trust=trust_values.get(str(fru), 1.0),
+                    verdict=verdict,
+                    recommendation=recommendation,
+                )
+            )
+        return reports

@@ -1,0 +1,159 @@
+"""Condition-based maintenance (CBM) scheduling (§III-E).
+
+"If advanced maintenance techniques like Condition-Based Maintenance are
+envisaged, then such indicators need to be identified. ... A suitable
+indicator for wearout of electronic devices is the increase of transient
+failures in the system."
+
+The :class:`ConditionMonitor` turns the diagnostic signals of one FRU —
+transient-failure episode times, the alpha-count trajectory, the trust
+trajectory — into a wearout assessment with a crude remaining-useful-life
+estimate, and recommends a *planned* replacement before the hard failure,
+which is the entire point of CBM versus run-to-failure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+from repro.errors import AnalysisError
+
+
+class CbmRecommendation(Enum):
+    CONTINUE = "continue operation"
+    MONITOR = "increase monitoring (early wearout indication)"
+    PLAN_REPLACEMENT = "plan replacement at next service (wearout confirmed)"
+    REPLACE_NOW = "replace immediately (end of life)"
+
+
+@dataclass(frozen=True, slots=True)
+class WearoutAssessment:
+    """CBM output for one FRU."""
+
+    fru: str
+    episode_count: int
+    current_rate_per_s: float
+    rate_trend: float  # late/early episode-rate ratio
+    predicted_rate_per_s: float  # extrapolated one horizon ahead
+    remaining_useful_life_s: float | None  # None when no trend
+    recommendation: CbmRecommendation
+
+
+class ConditionMonitor:
+    """Rolling wearout assessment from failure-episode timestamps.
+
+    Parameters
+    ----------
+    rate_limit_per_s:
+        Episode rate considered end-of-life (the FRU is about to violate
+        its availability requirement).
+    trend_threshold:
+        Late/early rate ratio above which wearout is considered confirmed.
+    min_episodes:
+        Minimum evidence before any non-CONTINUE recommendation.
+    """
+
+    def __init__(
+        self,
+        rate_limit_per_s: float = 2.0,
+        trend_threshold: float = 2.0,
+        min_episodes: int = 6,
+    ) -> None:
+        if rate_limit_per_s <= 0:
+            raise AnalysisError("rate_limit_per_s must be positive")
+        if trend_threshold <= 1.0:
+            raise AnalysisError("trend_threshold must exceed 1")
+        if min_episodes < 2:
+            raise AnalysisError("min_episodes must be >= 2")
+        self.rate_limit_per_s = rate_limit_per_s
+        self.trend_threshold = trend_threshold
+        self.min_episodes = min_episodes
+
+    def assess(
+        self, fru: str, episode_times_us: list[int], now_us: int
+    ) -> WearoutAssessment:
+        """Assess one FRU from its transient-episode timestamps."""
+        times = np.asarray(sorted(episode_times_us), dtype=float) / 1e6
+        now_s = now_us / 1e6
+        n = times.size
+        if n < self.min_episodes:
+            return WearoutAssessment(
+                fru, int(n), 0.0, 1.0, 0.0, None, CbmRecommendation.CONTINUE
+            )
+        span = max(times[-1] - times[0], 1e-9)
+        third = span / 3.0
+        early = int((times <= times[0] + third).sum())
+        late = int((times >= times[-1] - third).sum())
+        trend = (late + 0.5) / (early + 0.5)
+        current_rate = late / max(third, 1e-9)
+
+        # Linear extrapolation of the rate: fit episode index against time
+        # (the inverse of the cumulative rate curve), predict one span/3
+        # ahead, and solve for when the rate crosses the limit.
+        slope_now = _local_rate_slope(times)
+        predicted = max(0.0, current_rate + slope_now * third)
+        remaining: float | None = None
+        if slope_now > 1e-12 and current_rate < self.rate_limit_per_s:
+            remaining = (self.rate_limit_per_s - current_rate) / slope_now
+        elif current_rate >= self.rate_limit_per_s:
+            remaining = 0.0
+
+        if current_rate >= self.rate_limit_per_s:
+            recommendation = CbmRecommendation.REPLACE_NOW
+        elif trend >= self.trend_threshold:
+            recommendation = CbmRecommendation.PLAN_REPLACEMENT
+        elif trend > 1.3:
+            recommendation = CbmRecommendation.MONITOR
+        else:
+            recommendation = CbmRecommendation.CONTINUE
+        return WearoutAssessment(
+            fru=fru,
+            episode_count=int(n),
+            current_rate_per_s=float(current_rate),
+            rate_trend=float(trend),
+            predicted_rate_per_s=float(predicted),
+            remaining_useful_life_s=remaining,
+            recommendation=recommendation,
+        )
+
+
+def _local_rate_slope(times_s: np.ndarray) -> float:
+    """d(rate)/dt estimated from the episode sequence.
+
+    The instantaneous rate around episode i is 1/gap_i; a least-squares
+    line through (t_i, 1/gap_i) gives the rate's growth per second.
+    """
+    if times_s.size < 3:
+        return 0.0
+    gaps = np.diff(times_s)
+    gaps = np.maximum(gaps, 1e-9)
+    rates = 1.0 / gaps
+    mids = (times_s[1:] + times_s[:-1]) / 2.0
+    if np.ptp(mids) <= 0:
+        return 0.0
+    slope = np.polyfit(mids, rates, 1)[0]
+    return float(slope)
+
+
+def episodes_from_trace(cluster, component: str) -> list[int]:
+    """Failure-episode start times of a component from the cluster trace.
+
+    Consecutive missed slots merge into one episode (gap threshold: two
+    TDMA rounds).
+    """
+    silent = [
+        r.time for r in cluster.trace.records("frame.silent", source=component)
+    ]
+    if not silent:
+        return []
+    gap = 2 * cluster.schedule.round_length_us
+    episodes: list[int] = []
+    prev = None
+    for t in silent:
+        if prev is None or t - prev > gap:
+            episodes.append(t)
+        prev = t
+    return episodes

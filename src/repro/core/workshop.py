@@ -1,0 +1,218 @@
+"""The service station — executing maintenance actions (§V-C).
+
+Closes the maintenance loop the paper describes: the diagnostic DAS hands
+the service technician a set of :class:`MaintenanceRecommendation`s; the
+technician executes them on the vehicle (cluster); replaced units go to an
+OEM bench retest.  Two properties make this executable model valuable:
+
+* **repair effectiveness** — after executing the *correct* action the
+  fault is gone and the cluster runs clean again (exercised by the A7
+  bench and the integration tests);
+* **the NFF mechanism itself** — a unit removed because of an external or
+  misattributed fault passes the bench retest ("retested OK"), which is
+  exactly how no-fault-found events are counted in the field.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.components.cluster import Cluster
+from repro.core.fault_model import FruKind
+from repro.core.maintenance import (
+    MaintenanceAction,
+    MaintenanceRecommendation,
+)
+from repro.errors import AnalysisError
+
+
+@dataclass(frozen=True, slots=True)
+class WorkOrder:
+    """One executed maintenance action and its outcome."""
+
+    recommendation: MaintenanceRecommendation
+    executed: bool
+    bench_retest_ok: bool | None  # None when nothing was removed
+    note: str = ""
+
+
+@dataclass(slots=True)
+class BenchRetest:
+    """The OEM bench: retests a removed component for *internal* defects.
+
+    The bench exercises the unit in isolation: manifest internal defects
+    (permanent failures, babbling drivers, corrupting memories, broken
+    timing sources, an outage in progress) reproduce immediately.  When a
+    ground-truth ledger is supplied, the bench additionally performs
+    *stress screening* (thermal cycling, vibration), which reproduces
+    latent intermittent internal mechanisms — marginal solder joints,
+    wearing-out parts — that are dormant at the retest instant.  External
+    disturbances and loom-side problems never reproduce: the unit "retests
+    OK" and becomes an NFF statistic.
+    """
+
+    ground_truth: list | None = None
+
+    def retest_ok(self, cluster: Cluster, component_name: str) -> bool:
+        component = cluster.components.get(component_name)
+        if component is None:
+            # e.g. "loom-channel-0": not a removable node computer at all.
+            return True
+        hw = component.hardware
+        internal_defect = (
+            hw.permanently_failed
+            or hw.babbling
+            or hw.corrupt_tx_bits > 0
+            or abs(hw.timing_offset_us) > 0
+            or hw.transient_outage_until_us > cluster.now
+        )
+        if internal_defect:
+            return False
+        if self.ground_truth is not None:
+            from repro.core.fault_model import FaultClass
+
+            latent = any(
+                d.fault_class is FaultClass.COMPONENT_INTERNAL
+                and d.fru.name == component_name
+                for d in self.ground_truth
+            )
+            if latent:
+                return False
+        return True
+
+
+@dataclass(slots=True)
+class ServiceStation:
+    """Executes recommendations on a cluster and keeps the work log.
+
+    Parameters
+    ----------
+    cluster:
+        The vehicle being serviced.
+    software_updates:
+        Job names for which the OEM has released a corrected version.
+    """
+
+    cluster: Cluster
+    software_updates: frozenset[str] = frozenset()
+    bench: BenchRetest = field(default_factory=BenchRetest)
+    work_orders: list[WorkOrder] = field(default_factory=list)
+    #: Optional diagnostic service to notify: executed repairs reset the
+    #: repaired FRU's diagnostic record (evidence, alpha-count, trust).
+    diagnosis: object | None = None
+
+    def execute(
+        self, recommendation: MaintenanceRecommendation
+    ) -> WorkOrder:
+        """Perform one maintenance action; returns the work order."""
+        action = recommendation.action
+        fru = recommendation.fru
+        cluster = self.cluster
+        now = cluster.now
+        bench_ok: bool | None = None
+        executed = True
+        note = ""
+
+        if action is MaintenanceAction.NO_ACTION:
+            executed = False
+            note = "external transient: unit kept in service"
+
+        elif action is MaintenanceAction.REPLACE_COMPONENT:
+            if fru.kind is not FruKind.COMPONENT:
+                raise AnalysisError(
+                    f"replace-component on non-component FRU {fru}"
+                )
+            bench_ok = self.bench.retest_ok(cluster, fru.name)
+            component = cluster.components.get(fru.name)
+            if component is not None:
+                component.replace(now)
+                note = "component replaced; old unit sent to OEM bench"
+            else:
+                executed = False
+                note = f"{fru.name} is not a removable node computer"
+
+        elif action is MaintenanceAction.INSPECT_CONNECTOR:
+            # Reseat/replace the connector; as the paper notes, the
+            # inspection itself can be the corrective action (§IV-A.2).
+            target = fru.name
+            if target in cluster.bus.attachments:
+                cluster.bus.attachment(target).reseat_connector()
+                bench_ok = None
+                note = "connector reseated/replaced"
+            elif target.startswith("loom-channel-"):
+                channel = int(target.rsplit("-", 1)[1])
+                state = cluster.bus.channel_state[channel]
+                state.omission_prob = 0.0
+                state.blocked_until_us = -1
+                note = f"loom wiring of channel {channel} repaired"
+            else:
+                executed = False
+                note = f"no connector found for {target}"
+
+        elif action is MaintenanceAction.UPDATE_CONFIGURATION:
+            # Restore generous dimensioning of the job's communication
+            # resources (queues + VN budgets of the VNs it uses).
+            job = cluster.job(fru.name)
+            for port in job.in_ports():
+                if port.spec.kind.value == "event":
+                    port.resize_queue(max(port.spec.queue_capacity, 8))
+            for vn in cluster.vns.values():
+                if any(s.job == fru.name for s in vn.sources()):
+                    vn.reconfigure_budget(max(vn.slot_budget, 16))
+            note = "virtual-network configuration data updated"
+
+        elif action is MaintenanceAction.INSPECT_TRANSDUCER:
+            job = cluster.job(fru.name)
+            had_fault = job.sensor_transform is not None
+            job.replace_transducer()
+            bench_ok = not had_fault  # a healthy sensor retests OK -> NFF
+            note = (
+                "transducer replaced"
+                if had_fault
+                else "transducer retested OK (no fault found)"
+            )
+
+        elif action is MaintenanceAction.UPDATE_SOFTWARE:
+            job = cluster.job(fru.name)
+            job.update_software(f"{job.version}+fix")
+            job.crashed = False
+            job.suppressed_until_us = -1
+            note = "corrected job version installed"
+
+        elif action is MaintenanceAction.FORWARD_TO_OEM:
+            executed = False
+            note = "field data forwarded to OEM for fleet analysis"
+
+        else:  # pragma: no cover - exhaustive over the enum
+            raise AnalysisError(f"unknown action {action}")
+
+        order = WorkOrder(
+            recommendation=recommendation,
+            executed=executed,
+            bench_retest_ok=bench_ok,
+            note=note,
+        )
+        self.work_orders.append(order)
+        if executed and self.diagnosis is not None:
+            self.diagnosis.acknowledge_repair(fru)
+        return order
+
+    def execute_all(
+        self, recommendations: list[MaintenanceRecommendation]
+    ) -> list[WorkOrder]:
+        return [self.execute(rec) for rec in recommendations]
+
+    # -- statistics -----------------------------------------------------------
+
+    @property
+    def nff_count(self) -> int:
+        """Removed units that retested OK at the bench."""
+        return sum(
+            1 for order in self.work_orders if order.bench_retest_ok is True
+        )
+
+    @property
+    def justified_removals(self) -> int:
+        return sum(
+            1 for order in self.work_orders if order.bench_retest_ok is False
+        )

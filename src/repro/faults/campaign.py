@@ -1,0 +1,242 @@
+"""Stochastic fault campaigns — field-like fault mixes.
+
+Generates a random campaign over a cluster: fault mechanisms are drawn
+from a mix calibrated to the relative frequencies the paper cites
+(connector/wiring problems ~30 % of electrical failures [Swingler],
+transients outnumbering permanents by ~1000:1 [Pauli & Meyna], the 20-80
+software distribution [Fenton & Ohlsson]); activation times are uniform
+over the horizon; targets are drawn without FRU collisions so every
+injected fault keeps a well-defined ground truth.
+
+The actual field rates (FIT) would produce one event per simulated year;
+campaigns therefore specify an *expected fault count* over the horizon —
+an explicit time-acceleration — while preserving the mechanism mix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.fault_model import FaultDescriptor
+from repro.errors import FaultInjectionError
+from repro.faults.injector import FaultInjector
+from repro.units import ms, seconds
+
+#: Default mechanism mix (relative weights, see module docstring).
+DEFAULT_MIX: dict[str, float] = {
+    "seu": 0.22,
+    "emi-burst": 0.13,
+    "connector": 0.18,
+    "wiring": 0.05,
+    "recurring-transient": 0.12,
+    "permanent": 0.04,
+    "software-heisenbug": 0.10,
+    "software-bohrbug": 0.05,
+    "sensor": 0.05,
+    "queue-config": 0.06,
+}
+
+
+@dataclass(frozen=True, slots=True)
+class CampaignPlan:
+    """A sampled campaign: mechanisms, targets, activation times."""
+
+    events: tuple[tuple[str, str, int], ...]  # (mechanism, target, at_us)
+    descriptors: tuple[FaultDescriptor, ...]
+
+
+@dataclass(slots=True)
+class RandomCampaign:
+    """Samples and injects a random fault campaign on one cluster.
+
+    Parameters
+    ----------
+    injector:
+        The target cluster's injector.
+    expected_faults:
+        Mean number of faults over the horizon (Poisson).
+    horizon_us:
+        Campaign horizon; activations are uniform over [0.05, 0.8] of it,
+        leaving time for the diagnosis to accumulate evidence.
+    mix:
+        Mechanism weights; defaults to :data:`DEFAULT_MIX`.
+    sensor_jobs / software_jobs / config_ports:
+        Eligible targets for the job-level mechanisms.
+    """
+
+    injector: FaultInjector
+    expected_faults: float = 4.0
+    horizon_us: int = seconds(10)
+    mix: dict[str, float] = field(default_factory=lambda: dict(DEFAULT_MIX))
+    sensor_jobs: tuple[str, ...] = ()
+    software_jobs: tuple[str, ...] = ()
+    config_ports: tuple[tuple[str, str], ...] = ()  # (job, event port)
+
+    def run(self, rng: np.random.Generator) -> CampaignPlan:
+        """Sample the campaign and schedule every fault."""
+        cluster = self.injector.cluster
+        mechanisms = list(self.mix)
+        weights = np.asarray([self.mix[m] for m in mechanisms], dtype=float)
+        weights /= weights.sum()
+
+        count = int(rng.poisson(self.expected_faults))
+        components = list(cluster.components)
+        used_components: set[str] = set()
+        used_jobs: set[str] = set()
+        events: list[tuple[str, str, int]] = []
+        descriptors: list[FaultDescriptor] = []
+
+        used_mechanisms: set[str] = set()
+        attempts = 0
+        while len(events) < count and attempts < 20 * max(count, 1):
+            attempts += 1
+            mechanism = mechanisms[int(rng.choice(len(mechanisms), p=weights))]
+            at_us = int(
+                rng.uniform(0.05 * self.horizon_us, 0.8 * self.horizon_us)
+            )
+            descriptor = self._try_inject(
+                mechanism,
+                at_us,
+                rng,
+                components,
+                used_components,
+                used_jobs,
+                used_mechanisms,
+            )
+            if descriptor is None:
+                continue
+            events.append((mechanism, str(descriptor.fru), at_us))
+            descriptors.append(descriptor)
+        return CampaignPlan(tuple(events), tuple(descriptors))
+
+    # -- internals ------------------------------------------------------------
+
+    def _free_component(
+        self, rng, components, used_components
+    ) -> str | None:
+        free = [c for c in components if c not in used_components]
+        if not free:
+            return None
+        return free[int(rng.choice(len(free)))]
+
+    def _try_inject(
+        self,
+        mechanism,
+        at_us,
+        rng,
+        components,
+        used_components,
+        used_jobs,
+        used_mechanisms,
+    ) -> FaultDescriptor | None:
+        injector = self.injector
+        cluster = injector.cluster
+        if mechanism == "seu":
+            target = self._free_component(rng, components, used_components)
+            if target is None:
+                return None
+            used_components.add(target)
+            return injector.inject_seu(target, at_us)
+        if mechanism == "emi-burst":
+            # At most one EMI burst per campaign (it disturbs a whole
+            # region, so several would blur every other ground truth).
+            if "emi-burst" in used_mechanisms:
+                return None
+            positions = [cluster.components[c].position for c in components]
+            center = positions[int(rng.choice(len(positions)))]
+            try:
+                descriptor = injector.inject_emi_burst(
+                    at_us, center=center, radius=1.2
+                )
+            except FaultInjectionError:
+                return None
+            used_mechanisms.add("emi-burst")
+            used_components.add(descriptor.fru.name)
+            return descriptor
+        if mechanism == "connector":
+            target = self._free_component(rng, components, used_components)
+            if target is None:
+                return None
+            used_components.add(target)
+            return injector.inject_connector_fault(
+                target,
+                channel=int(rng.integers(cluster.bus.channels)),
+                omission_prob=float(rng.uniform(0.5, 1.0)),
+                at_us=at_us,
+            )
+        if mechanism == "wiring":
+            if "wiring" in used_mechanisms:
+                return None
+            used_mechanisms.add("wiring")
+            return injector.inject_wiring_fault(
+                int(rng.integers(cluster.bus.channels)),
+                omission_prob=float(rng.uniform(0.3, 0.7)),
+                at_us=at_us,
+            )
+        if mechanism == "recurring-transient":
+            target = self._free_component(rng, components, used_components)
+            if target is None:
+                return None
+            used_components.add(target)
+            return injector.inject_recurring_transients(
+                target,
+                at_us,
+                self.horizon_us,
+                fit=1.5e12,
+                min_occurrences=6,
+            )
+        if mechanism == "permanent":
+            target = self._free_component(rng, components, used_components)
+            if target is None:
+                return None
+            used_components.add(target)
+            mode = ("silent", "corrupt", "babbling")[int(rng.integers(3))]
+            return injector.inject_permanent_internal(target, at_us, mode=mode)
+        if mechanism in ("software-heisenbug", "software-bohrbug"):
+            free = [
+                j
+                for j in self.software_jobs
+                if j not in used_jobs
+                and cluster.job_location[j] not in used_components
+            ]
+            if not free:
+                return None
+            job = free[int(rng.choice(len(free)))]
+            used_jobs.add(job)
+            if mechanism == "software-heisenbug":
+                return injector.inject_software_heisenbug(
+                    job, at_us, manifest_prob=float(rng.uniform(0.03, 0.1))
+                )
+            return injector.inject_software_bohrbug(job, at_us)
+        if mechanism == "sensor":
+            free = [
+                j
+                for j in self.sensor_jobs
+                if j not in used_jobs
+                and cluster.job_location[j] not in used_components
+            ]
+            if not free:
+                return None
+            job = free[int(rng.choice(len(free)))]
+            used_jobs.add(job)
+            mode = ("stuck", "drift")[int(rng.integers(2))]
+            return injector.inject_sensor_fault(
+                job, at_us, mode=mode, stuck_value=25.0, drift_per_s=30.0
+            )
+        if mechanism == "queue-config":
+            free = [
+                (j, p)
+                for j, p in self.config_ports
+                if j not in used_jobs
+                and cluster.job_location[j] not in used_components
+            ]
+            if not free:
+                return None
+            job, port = free[int(rng.choice(len(free)))]
+            used_jobs.add(job)
+            return injector.inject_queue_config_fault(
+                job, port, capacity=1, at_us=at_us
+            )
+        raise FaultInjectionError(f"unknown mechanism {mechanism!r}")

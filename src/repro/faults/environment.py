@@ -1,0 +1,91 @@
+"""Environmental stress profiles (§IV-A.3).
+
+Transport vehicles expose their electronics to harsh climatic and
+mechanical conditions: temperature extremes, thermal cycling, vibration,
+shock, humidity.  A :class:`StressProfile` turns an operating scenario into
+a time-varying stress multiplier that (a) drives wearout accumulation and
+(b) modulates the arrival rate of externally induced transients.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.units import US_PER_HOUR
+
+
+@dataclass(frozen=True, slots=True)
+class StressProfile:
+    """Multiplicative stress model over simulated time.
+
+    Parameters
+    ----------
+    baseline:
+        Stress multiplier under nominal conditions (1.0 = benign lab).
+    thermal_cycle_amplitude:
+        Added stress amplitude of periodic thermal cycling.
+    thermal_cycle_period_us:
+        Period of one thermal cycle (e.g. one drive cycle).
+    vibration:
+        Constant vibration-induced stress adder (0 = none).
+    shock_times_us:
+        Times of discrete shock events (chuckholes, hard landings); each
+        contributes ``shock_magnitude`` for one evaluation instant.
+    """
+
+    baseline: float = 1.0
+    thermal_cycle_amplitude: float = 0.0
+    thermal_cycle_period_us: int = US_PER_HOUR
+    vibration: float = 0.0
+    shock_times_us: tuple[int, ...] = ()
+    shock_magnitude: float = 5.0
+    shock_window_us: int = 1_000_000
+
+    def __post_init__(self) -> None:
+        if self.baseline <= 0:
+            raise ConfigurationError(
+                f"baseline must be > 0, got {self.baseline}"
+            )
+        if self.thermal_cycle_period_us <= 0:
+            raise ConfigurationError("thermal cycle period must be > 0")
+        if self.thermal_cycle_amplitude < 0 or self.vibration < 0:
+            raise ConfigurationError("stress adders must be >= 0")
+
+    def at(self, t_us: float | np.ndarray) -> np.ndarray:
+        """Stress multiplier at the given time(s) (vectorised)."""
+        t = np.asarray(t_us, dtype=float)
+        stress = np.full_like(t, self.baseline + self.vibration)
+        if self.thermal_cycle_amplitude > 0:
+            phase = 2.0 * np.pi * t / self.thermal_cycle_period_us
+            stress = stress + self.thermal_cycle_amplitude * 0.5 * (
+                1.0 - np.cos(phase)
+            )
+        for shock in self.shock_times_us:
+            in_window = (t >= shock) & (t < shock + self.shock_window_us)
+            stress = np.where(in_window, stress + self.shock_magnitude, stress)
+        return stress
+
+    def mean_over(self, since_us: int, until_us: int, samples: int = 256) -> float:
+        """Average stress over an interval (for damage integration)."""
+        if until_us <= since_us:
+            raise ConfigurationError("interval must have positive length")
+        t = np.linspace(since_us, until_us, samples)
+        return float(self.at(t).mean())
+
+
+BENIGN = StressProfile()
+"""Laboratory conditions: baseline only."""
+
+HIGHWAY = StressProfile(baseline=1.0, vibration=0.5, thermal_cycle_amplitude=1.0)
+"""Steady highway driving: mild vibration plus engine-bay thermal cycling."""
+
+ROUGH_ROAD = StressProfile(
+    baseline=1.0,
+    vibration=2.0,
+    thermal_cycle_amplitude=1.0,
+    shock_magnitude=8.0,
+)
+"""Rough roads: strong vibration; add shock_times_us for chuckholes."""

@@ -1,0 +1,76 @@
+"""Quantitative assumptions of the maintenance-oriented fault model.
+
+All constants are taken from the paper (§I, §III-E, §IV) with their source
+noted.  They parameterise the default fault-injection campaigns and the
+economic analysis.
+"""
+
+from __future__ import annotations
+
+from repro.units import ms
+
+# -- §III-E: failure-rate assumptions ---------------------------------------
+
+#: Transient hardware failure rate of an FRU ("in the order of 100.000 FIT,
+#: i.e. about 1 year"; the paper marks this as not well substantiated).
+TRANSIENT_HW_FIT = 100_000.0
+
+#: Permanent hardware failure rate of an FRU ("in the order of 100 FIT,
+#: i.e. about 1000 years" [Pauli & Meyna]).
+PERMANENT_HW_FIT = 100.0
+
+#: Duration of a transient hardware FRU failure: "tens of milliseconds";
+#: the automotive steering system in [Heiner & Thurner] tolerates < 50 ms.
+TRANSIENT_OUTAGE_TYPICAL_US = ms(20)
+TRANSIENT_OUTAGE_MAX_US = ms(50)
+
+#: Correlated transient failures happen within a bounded interval; an EMI
+#: burst per ISO 7637 lasts on the order of 10 ms.
+EMI_BURST_DURATION_US = ms(10)
+
+#: Current on-board diagnosis records only transient failures persisting
+#: longer than 500 ms (shorter ones are invisible to the OBD baseline).
+OBD_RECORD_THRESHOLD_US = ms(500)
+
+# -- §III-E / §IV-B: software fault distribution ------------------------------
+
+#: The 20-80 rule [Fenton & Ohlsson]: 20 % of the software modules cause
+#: 80 % of the software-related failures in operation.
+SOFTWARE_PARETO_MODULES = 0.20
+SOFTWARE_PARETO_FAILURES = 0.80
+
+# -- §IV-A.2: borderline (connector/wiring) failure shares --------------------
+
+#: Swingler et al.: > 30 % of electrical failures attributed to connections.
+CONNECTOR_FAILURE_SHARE_AUTOMOTIVE = 0.30
+#: Galler & Slenski: 36 % of aircraft electrical equipment failures.
+INTERCONNECT_FAILURE_SHARE_AVIONIC = 0.36
+#: US Air Force: 43 % of electrical-system mishaps due to connectors/wiring.
+INTERCONNECT_MISHAP_SHARE_USAF = 0.43
+#: A luxury car can have up to 400 connectors.
+CONNECTORS_PER_LUXURY_CAR = 400
+
+# -- §I: economics of the no-fault-found problem -----------------------------
+
+#: Average cost of removing a single line replaceable unit.
+LRU_REMOVAL_COST_USD = 800.0
+#: Estimated yearly NFF cost in the avionic domain.
+AVIONIC_NFF_COST_PER_YEAR_USD = 300e6
+
+# -- §IV-A.3: environmental stress figures -----------------------------------
+
+#: Lightning causes a 16.5 % failure rate of electronic equipment in
+#: commercial airlines (Podgorski).
+LIGHTNING_EQUIPMENT_FAILURE_RATE = 0.165
+#: Automotive temperature extremes: up to 200 degC at the engine, 800 degC at
+#: the exhaust; vibration/shock up to 50 g (Wondrak).
+ENGINE_MAX_TEMP_C = 200.0
+EXHAUST_MAX_TEMP_C = 800.0
+MAX_SHOCK_G = 50.0
+
+# -- §IV-B.1: software maintenance statistics (Weber) --------------------------
+
+#: Share of software-maintenance effort spent correcting faults.
+SW_MAINTENANCE_CORRECTIVE_SHARE = 0.17
+#: Share of software-support effort needing integrated diagnostic tooling.
+SW_SUPPORT_DIAGNOSTIC_SHARE = 0.54

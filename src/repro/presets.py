@@ -1,0 +1,663 @@
+"""Reference cluster configurations.
+
+Two ready-made clusters are provided:
+
+* :func:`small_cluster` — a homogeneous cluster with one DAS of periodic
+  producer/consumer jobs; the workhorse of unit tests and micro-benches.
+* :func:`figure10_cluster` — the exact scenario of the paper's Fig. 10:
+  five components; non safety-critical DASs A, B, C and a safety-critical
+  DAS S whose jobs S1, S2, S3 form a TMR triple across components 1-3;
+  component 2 hosts jobs of four different DASs (A3, C1, C2, S2), so a
+  component-internal fault there produces correlated failures across DAS
+  borders while a job-inherent fault stays confined to one DAS.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.components.cluster import Cluster, ClusterSpec
+from repro.components.component import ComponentSpec
+from repro.components.das import Criticality, DasSpec
+from repro.components.job import (
+    Behaviour,
+    DispatchContext,
+    JobSpec,
+    drain_inputs,
+    sensor_relay_behaviour,
+    sine_behaviour,
+    time_sine_behaviour,
+)
+from repro.components.partition import PartitionSpec
+from repro.components.ports import (
+    PortDirection,
+    PortKind,
+    PortSpec,
+    ValueSpec,
+)
+from repro.components.virtual_network import (
+    PortAddress,
+    VirtualNetwork,
+    VnLink,
+)
+from repro.diagnosis.detector import (
+    TmrMonitor,
+    sensor_range_check,
+    sensor_stuck_check,
+)
+from repro.sim.engine import PRIORITY_APPLICATION
+
+#: Standard value specification for the sine workloads.
+SINE_SPEC = ValueSpec(low=-2.0, high=2.0, margin=0.1)
+#: Wheel-speed sensor specification (m/s).
+WHEEL_SPEC = ValueSpec(low=-1.0, high=60.0, margin=0.1)
+
+
+def _out(name: str, spec: ValueSpec = SINE_SPEC) -> PortSpec:
+    return PortSpec(name, PortDirection.OUT, PortKind.STATE, value_spec=spec)
+
+
+def _in(name: str, spec: ValueSpec = SINE_SPEC) -> PortSpec:
+    return PortSpec(name, PortDirection.IN, PortKind.STATE, value_spec=spec)
+
+
+def _in_event(name: str, capacity: int = 4, spec: ValueSpec = SINE_SPEC) -> PortSpec:
+    return PortSpec(
+        name,
+        PortDirection.IN,
+        PortKind.EVENT,
+        queue_capacity=capacity,
+        value_spec=spec,
+    )
+
+
+def voter_behaviour(in_ports: tuple[str, ...], out_port: str) -> Behaviour:
+    """Majority-vote the freshest values of the replica input ports."""
+
+    def behaviour(ctx: DispatchContext) -> dict[str, float]:
+        values = []
+        for name in in_ports:
+            port = ctx.inputs.get(name)
+            if port is None:
+                continue
+            msg = port.read_state()
+            if msg is not None:
+                try:
+                    values.append(float(msg.value))
+                except (TypeError, ValueError):
+                    pass
+        if not values:
+            return {}
+        values.sort()
+        return {out_port: values[len(values) // 2]}  # median = majority-safe
+
+    return behaviour
+
+
+# ---------------------------------------------------------------------------
+# Small homogeneous cluster
+# ---------------------------------------------------------------------------
+
+
+def small_cluster(
+    n_components: int = 4,
+    seed: int = 0,
+    slot_length_us: int = 1_000,
+    drift_ppm: float = 5.0,
+) -> Cluster:
+    """A one-DAS cluster: component ``c0`` produces, the others consume.
+
+    Jobs: ``p0`` (producer, sine) on c0 and ``k1..`` (consumers) on the
+    remaining components; VN ``vn-main`` fans the producer's output out to
+    every consumer's event port.
+    """
+    if n_components < 2:
+        raise ValueError("need at least two components")
+    producer = JobSpec(
+        name="p0",
+        das="main",
+        ports=(_out("out"),),
+        behaviour=sine_behaviour(period_dispatches=40),
+    )
+    consumers = [
+        JobSpec(
+            name=f"k{i}",
+            das="main",
+            ports=(_in_event("in"),),
+            behaviour=drain_inputs(),
+        )
+        for i in range(1, n_components)
+    ]
+    components = [
+        ComponentSpec(
+            name="c0",
+            partitions=(PartitionSpec("p", producer, cpu_share=0.5),),
+            position=(0.0, 0.0),
+            drift_ppm=drift_ppm,
+        )
+    ]
+    for i, consumer in enumerate(consumers, start=1):
+        components.append(
+            ComponentSpec(
+                name=f"c{i}",
+                partitions=(PartitionSpec("p", consumer, cpu_share=0.5),),
+                position=(float(i), 0.0),
+                drift_ppm=drift_ppm * math.cos(i),
+            )
+        )
+    das = DasSpec(
+        name="main",
+        criticality=Criticality.NON_SAFETY_CRITICAL,
+        jobs=(producer, *consumers),
+    )
+    vn = VirtualNetwork(
+        "vn-main",
+        "main",
+        links=(
+            VnLink(
+                PortAddress("p0", "out"),
+                tuple(PortAddress(c.name, "in") for c in consumers),
+            ),
+        ),
+    )
+    spec = ClusterSpec(
+        components=tuple(components),
+        dases=(das,),
+        slot_length_us=slot_length_us,
+    )
+    return Cluster(spec, vns={"vn-main": vn}, seed=seed)
+
+
+# ---------------------------------------------------------------------------
+# The Fig. 10 scenario
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class Figure10Parts:
+    """Handles into the Fig. 10 cluster the experiments need."""
+
+    cluster: Cluster
+    tmr_monitor: TmrMonitor
+    sensor_job: str  # the job with exclusive sensor access (C1)
+    das_a_jobs: tuple[str, ...]
+    replica_jobs: tuple[str, ...]
+    shared_component: str  # component 2: hosts jobs of 4 DASs
+
+
+def figure10_cluster(seed: int = 0, slot_length_us: int = 1_000) -> Figure10Parts:
+    """Build the Fig. 10 reference cluster.
+
+    Placement (paper Fig. 10):
+
+    ========= =====================================
+    component hosted jobs (DAS)
+    ========= =====================================
+    comp1     A1 (A), B1 (B), S1 (S)
+    comp2     A3 (A), C1 (C), C2 (C), S2 (S)
+    comp3     A2 (A), B2 (B), S3 (S)
+    comp4     s-voter (S)
+    comp5     diag (DIAG)
+    ========= =====================================
+    """
+    # --- DAS A: three sine jobs exchanging values -------------------------
+    a1 = JobSpec(
+        "A1",
+        "A",
+        ports=(_out("out"),),
+        behaviour=sine_behaviour(period_dispatches=40),
+    )
+    a2 = JobSpec("A2", "A", ports=(_out("out"), _in("in")),
+                 behaviour=sine_behaviour(period_dispatches=30, phase=0.7))
+    a3 = JobSpec(
+        "A3",
+        "A",
+        ports=(_out("out"), _in_event("in", capacity=4)),
+        behaviour=drain_inputs(sine_behaviour(period_dispatches=20, phase=1.3)),
+    )
+    das_a = DasSpec("A", Criticality.NON_SAFETY_CRITICAL, (a1, a2, a3))
+
+    # --- DAS B: producer/consumer pair ------------------------------------
+    b1 = JobSpec("B1", "B", ports=(_out("out"),),
+                 behaviour=sine_behaviour(period_dispatches=25))
+    b2 = JobSpec(
+        "B2", "B", ports=(_in_event("in", capacity=4),), behaviour=drain_inputs()
+    )
+    das_b = DasSpec("B", Criticality.NON_SAFETY_CRITICAL, (b1, b2))
+
+    # --- DAS C: sensor relay + consumer -----------------------------------
+    c1 = JobSpec(
+        "C1",
+        "C",
+        ports=(_out("out", WHEEL_SPEC), _in("peer")),
+        behaviour=sensor_relay_behaviour("wheel_speed", "out"),
+    )
+    c2 = JobSpec("C2", "C", ports=(_out("out"), _in("in", WHEEL_SPEC)),
+                 behaviour=sine_behaviour(period_dispatches=35, phase=2.1))
+    das_c = DasSpec("C", Criticality.NON_SAFETY_CRITICAL, (c1, c2))
+
+    # --- DAS S: TMR triple + voter -----------------------------------------
+    round_length_us = slot_length_us * 5  # five components, one slot each
+
+    def replica(name: str) -> JobSpec:
+        return JobSpec(
+            name,
+            "S",
+            ports=(_out("out"),),
+            behaviour=time_sine_behaviour(
+                period_us=1_000_000, quantum_us=round_length_us
+            ),
+            safety_critical=True,
+        )
+
+    # Identical replicas: identical time-driven behaviour.
+    s1, s2, s3 = (replica(n) for n in ("S1", "S2", "S3"))
+    voter = JobSpec(
+        "s-voter",
+        "S",
+        ports=(
+            _in("in_s1"),
+            _in("in_s2"),
+            _in("in_s3"),
+            _out("voted"),
+        ),
+        behaviour=voter_behaviour(("in_s1", "in_s2", "in_s3"), "voted"),
+        safety_critical=True,
+    )
+    das_s = DasSpec("S", Criticality.SAFETY_CRITICAL, (s1, s2, s3, voter))
+
+    # --- diagnostic DAS (the collector's application job) ------------------
+    diag = JobSpec("diag", "DIAG", ports=())
+    das_diag = DasSpec("DIAG", Criticality.NON_SAFETY_CRITICAL, (diag,))
+
+    def parts(*jobs: JobSpec) -> tuple[PartitionSpec, ...]:
+        share = 1.0 / max(1, len(jobs))
+        return tuple(
+            PartitionSpec(f"part-{j.name}", j, cpu_share=share) for j in jobs
+        )
+
+    components = (
+        ComponentSpec("comp1", parts(a1, b1, s1), position=(0.0, 0.0)),
+        ComponentSpec("comp2", parts(a3, c1, c2, s2), position=(1.0, 0.0)),
+        ComponentSpec("comp3", parts(a2, b2, s3), position=(2.0, 0.0)),
+        ComponentSpec("comp4", parts(voter), position=(3.0, 0.0)),
+        ComponentSpec("comp5", parts(diag), position=(4.0, 0.0)),
+    )
+
+    vns = {
+        "vn-A": VirtualNetwork(
+            "vn-A",
+            "A",
+            links=(
+                # Fan-in at A3: both producers feed its event queue, so a
+                # correctly dimensioned queue must absorb two messages per
+                # round (a borderline config fault shrinks it below that).
+                VnLink(
+                    PortAddress("A1", "out"),
+                    (PortAddress("A2", "in"), PortAddress("A3", "in")),
+                ),
+                VnLink(PortAddress("A2", "out"), (PortAddress("A3", "in"),)),
+            ),
+        ),
+        "vn-B": VirtualNetwork(
+            "vn-B",
+            "B",
+            links=(
+                VnLink(PortAddress("B1", "out"), (PortAddress("B2", "in"),)),
+            ),
+        ),
+        "vn-C": VirtualNetwork(
+            "vn-C",
+            "C",
+            links=(
+                VnLink(PortAddress("C1", "out"), (PortAddress("C2", "in"),)),
+                # C2 answers towards C1: comp2 pushes two vn-C messages per
+                # slot (C1.out + C2.out), so an under-dimensioned slot
+                # budget manifests as transmit-side message loss.
+                VnLink(PortAddress("C2", "out"), (PortAddress("C1", "peer"),)),
+            ),
+        ),
+        "vn-S": VirtualNetwork(
+            "vn-S",
+            "S",
+            links=(
+                VnLink(PortAddress("S1", "out"), (PortAddress("s-voter", "in_s1"),)),
+                VnLink(PortAddress("S2", "out"), (PortAddress("s-voter", "in_s2"),)),
+                VnLink(PortAddress("S3", "out"), (PortAddress("s-voter", "in_s3"),)),
+            ),
+        ),
+    }
+
+    spec = ClusterSpec(
+        components=components,
+        dases=(das_a, das_b, das_c, das_s, das_diag),
+        slot_length_us=slot_length_us,
+    )
+    cluster = Cluster(spec, vns=vns, seed=seed)
+
+    # Wheel-speed stimulus + model-based job-internal checks on C1.
+    install_sensor_stimulus(
+        cluster,
+        "C1",
+        "wheel_speed",
+        lambda t_us: 25.0 + 10.0 * math.sin(2.0 * math.pi * t_us / 2_000_000),
+    )
+    c1_runtime = cluster.job("C1")
+    c1_runtime.internal_checks.append(
+        sensor_range_check("wheel_speed", -1.0, 60.0)
+    )
+    # A frozen transducer is *exactly* constant; a live wheel-speed signal
+    # always carries some variation, even near the extremes of a manoeuvre.
+    c1_runtime.internal_checks.append(
+        sensor_stuck_check("wheel_speed", min_change=1e-6, window_polls=16)
+    )
+
+    monitor = TmrMonitor(
+        voter_job="s-voter",
+        replica_ports={"S1": "in_s1", "S2": "in_s2", "S3": "in_s3"},
+        tolerance=1e-6,
+    )
+    return Figure10Parts(
+        cluster=cluster,
+        tmr_monitor=monitor,
+        sensor_job="C1",
+        das_a_jobs=("A1", "A2", "A3"),
+        replica_jobs=("S1", "S2", "S3"),
+        shared_component="comp2",
+    )
+
+
+def install_sensor_stimulus(
+    cluster: Cluster,
+    job_name: str,
+    sensor: str,
+    value_of_time,
+    period_us: int | None = None,
+) -> None:
+    """Drive a job's sensor from a time function (the controlled object)."""
+    period = (
+        period_us
+        if period_us is not None
+        else cluster.schedule.round_length_us
+    )
+    job = cluster.job(job_name)
+    job.sensors[sensor] = float(value_of_time(0))
+
+    def update(sim) -> None:
+        job.sensors[sensor] = float(value_of_time(sim.now))
+
+    cluster.sim.schedule_periodic(period, update, priority=PRIORITY_APPLICATION)
+
+
+# ---------------------------------------------------------------------------
+# Hidden-gateway cluster
+# ---------------------------------------------------------------------------
+
+
+def gateway_cluster(seed: int = 0, slot_length_us: int = 1_000) -> Cluster:
+    """A cluster demonstrating a hidden gateway (§II-B).
+
+    DAS ``chassis`` produces a wheel-speed value; DAS ``telematics`` wants
+    to display it without duplicating the sensor.  A gateway job (member
+    of the telematics DAS) receives the value over the chassis VN — the
+    sanctioned crossing point — and re-publishes it on the telematics VN.
+    Applications on either side are unaware of the crossing.
+    """
+    from repro.components.gateway import make_gateway_job
+
+    sensor = JobSpec(
+        "wheel-sensor",
+        "chassis",
+        ports=(_out("speed", WHEEL_SPEC),),
+        behaviour=sensor_relay_behaviour("wheel_speed", "speed"),
+    )
+    abs_job = JobSpec(
+        "abs-ctrl",
+        "chassis",
+        ports=(_in("speed_in", WHEEL_SPEC),),
+    )
+    gateway = make_gateway_job(
+        "gw-chassis-telematics",
+        "telematics",
+        {"speed_in": "speed_out"},
+        value_spec=WHEEL_SPEC,
+    )
+    display = JobSpec(
+        "dashboard",
+        "telematics",
+        ports=(_in("speed", WHEEL_SPEC),),
+    )
+    das_chassis = DasSpec(
+        "chassis", Criticality.NON_SAFETY_CRITICAL, (sensor, abs_job)
+    )
+    das_telematics = DasSpec(
+        "telematics", Criticality.NON_SAFETY_CRITICAL, (gateway, display)
+    )
+    components = (
+        ComponentSpec(
+            "ecu-chassis",
+            (PartitionSpec("p-sensor", sensor, cpu_share=0.4),
+             PartitionSpec("p-abs", abs_job, cpu_share=0.4)),
+            position=(0.0, 0.0),
+        ),
+        ComponentSpec(
+            "ecu-gateway",
+            (PartitionSpec("p-gw", gateway, cpu_share=0.5),),
+            position=(1.0, 0.0),
+        ),
+        ComponentSpec(
+            "ecu-dashboard",
+            (PartitionSpec("p-display", display, cpu_share=0.5),),
+            position=(2.0, 0.0),
+        ),
+    )
+    vns = {
+        "vn-chassis": VirtualNetwork(
+            "vn-chassis",
+            "chassis",
+            links=(
+                VnLink(
+                    PortAddress("wheel-sensor", "speed"),
+                    (
+                        PortAddress("abs-ctrl", "speed_in"),
+                        # The gateway's receive side: the one sanctioned
+                        # crossing point into the telematics DAS.
+                        PortAddress("gw-chassis-telematics", "speed_in"),
+                    ),
+                ),
+            ),
+        ),
+        "vn-telematics": VirtualNetwork(
+            "vn-telematics",
+            "telematics",
+            links=(
+                VnLink(
+                    PortAddress("gw-chassis-telematics", "speed_out"),
+                    (PortAddress("dashboard", "speed"),),
+                ),
+            ),
+        ),
+    }
+    spec = ClusterSpec(
+        components=components,
+        dases=(das_chassis, das_telematics),
+        slot_length_us=slot_length_us,
+    )
+    cluster = Cluster(spec, vns=vns, seed=seed)
+    install_sensor_stimulus(
+        cluster,
+        "wheel-sensor",
+        "wheel_speed",
+        lambda t_us: 20.0 + 5.0 * math.sin(2.0 * math.pi * t_us / 1_000_000),
+    )
+    return cluster
+
+
+# ---------------------------------------------------------------------------
+# Avionics cluster (IMA-style)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class AvionicsParts:
+    """Handles into the avionics reference cluster."""
+
+    cluster: Cluster
+    elevator_monitor: TmrMonitor
+    rudder_monitor: TmrMonitor
+    airdata_job: str
+
+
+def avionics_cluster(seed: int = 0, slot_length_us: int = 500) -> AvionicsParts:
+    """An integrated-modular-avionics style cluster with eight LRMs.
+
+    Two safety-critical TMR triples (elevator and rudder control laws)
+    span six cabinets; an air-data DAS feeds both; a non safety-critical
+    cabin DAS shares cabinets with the control laws — the avionic analogue
+    of the paper's Fig. 10 sharing argument, at a larger scale.
+    """
+    round_length_us = slot_length_us * 8
+
+    def law(name: str, das: str) -> JobSpec:
+        return JobSpec(
+            name,
+            das,
+            ports=(_out("cmd"),),
+            behaviour=time_sine_behaviour(
+                period_us=2_000_000, quantum_us=round_length_us
+            ),
+            safety_critical=True,
+        )
+
+    def voter_spec(name: str, das: str, replicas: tuple[str, ...]) -> JobSpec:
+        in_ports = tuple(_in(f"in_{r}") for r in replicas)
+        return JobSpec(
+            name,
+            das,
+            ports=(*in_ports, _out("surface")),
+            behaviour=voter_behaviour(
+                tuple(f"in_{r}" for r in replicas), "surface"
+            ),
+            safety_critical=True,
+        )
+
+    elev = tuple(law(f"elev{i}", "elevator") for i in (1, 2, 3))
+    elev_voter = voter_spec("elev-voter", "elevator", ("elev1", "elev2", "elev3"))
+    rud = tuple(law(f"rud{i}", "rudder") for i in (1, 2, 3))
+    rud_voter = voter_spec("rud-voter", "rudder", ("rud1", "rud2", "rud3"))
+
+    airdata = JobSpec(
+        "airdata",
+        "airdata",
+        ports=(_out("speed", ValueSpec(low=0.0, high=400.0, margin=0.1)),),
+        behaviour=sensor_relay_behaviour("airspeed", "speed"),
+    )
+    cabin = JobSpec(
+        "cabin-lights",
+        "cabin",
+        ports=(_out("state"),),
+        behaviour=sine_behaviour(period_dispatches=60),
+    )
+    ife = JobSpec(
+        "ife-server",
+        "cabin",
+        ports=(_in_event("in", capacity=8),),
+        behaviour=drain_inputs(),
+    )
+
+    das_elev = DasSpec("elevator", Criticality.SAFETY_CRITICAL, (*elev, elev_voter))
+    das_rud = DasSpec("rudder", Criticality.SAFETY_CRITICAL, (*rud, rud_voter))
+    das_air = DasSpec("airdata", Criticality.NON_SAFETY_CRITICAL, (airdata,))
+    das_cabin = DasSpec("cabin", Criticality.NON_SAFETY_CRITICAL, (cabin, ife))
+    das_diag = DasSpec(
+        "DIAG",
+        Criticality.NON_SAFETY_CRITICAL,
+        (JobSpec("health-monitor", "DIAG", ()),),
+    )
+
+    def parts(*jobs: JobSpec) -> tuple[PartitionSpec, ...]:
+        share = 1.0 / max(1, len(jobs))
+        return tuple(
+            PartitionSpec(f"part-{j.name}", j, cpu_share=share) for j in jobs
+        )
+
+    components = (
+        ComponentSpec("lrm1", parts(elev[0], cabin), position=(0.0, 0.0)),
+        ComponentSpec("lrm2", parts(elev[1], rud[0]), position=(1.0, 0.0)),
+        ComponentSpec("lrm3", parts(elev[2], ife), position=(2.0, 0.0)),
+        ComponentSpec("lrm4", parts(rud[1], airdata), position=(0.0, 1.0)),
+        ComponentSpec("lrm5", parts(rud[2]), position=(1.0, 1.0)),
+        ComponentSpec("lrm6", parts(elev_voter), position=(2.0, 1.0)),
+        ComponentSpec("lrm7", parts(rud_voter), position=(0.0, 2.0)),
+        ComponentSpec(
+            "lrm8",
+            parts(das_diag.jobs[0]),
+            position=(1.0, 2.0),
+        ),
+    )
+
+    vns = {
+        "vn-elevator": VirtualNetwork(
+            "vn-elevator",
+            "elevator",
+            links=tuple(
+                VnLink(
+                    PortAddress(f"elev{i}", "cmd"),
+                    (PortAddress("elev-voter", f"in_elev{i}"),),
+                )
+                for i in (1, 2, 3)
+            ),
+        ),
+        "vn-rudder": VirtualNetwork(
+            "vn-rudder",
+            "rudder",
+            links=tuple(
+                VnLink(
+                    PortAddress(f"rud{i}", "cmd"),
+                    (PortAddress("rud-voter", f"in_rud{i}"),),
+                )
+                for i in (1, 2, 3)
+            ),
+        ),
+        "vn-airdata": VirtualNetwork(
+            "vn-airdata",
+            "airdata",
+            links=(VnLink(PortAddress("airdata", "speed"), ()),),
+        ),
+        "vn-cabin": VirtualNetwork(
+            "vn-cabin",
+            "cabin",
+            links=(
+                VnLink(
+                    PortAddress("cabin-lights", "state"),
+                    (PortAddress("ife-server", "in"),),
+                ),
+            ),
+        ),
+    }
+
+    spec = ClusterSpec(
+        components=components,
+        dases=(das_elev, das_rud, das_air, das_cabin, das_diag),
+        slot_length_us=slot_length_us,
+    )
+    cluster = Cluster(spec, vns=vns, seed=seed)
+    install_sensor_stimulus(
+        cluster,
+        "airdata",
+        "airspeed",
+        lambda t_us: 230.0 + 15.0 * math.sin(2.0 * math.pi * t_us / 5_000_000),
+    )
+    return AvionicsParts(
+        cluster=cluster,
+        elevator_monitor=TmrMonitor(
+            "elev-voter",
+            {f"elev{i}": f"in_elev{i}" for i in (1, 2, 3)},
+        ),
+        rudder_monitor=TmrMonitor(
+            "rud-voter",
+            {f"rud{i}": f"in_rud{i}" for i in (1, 2, 3)},
+        ),
+        airdata_job="airdata",
+    )

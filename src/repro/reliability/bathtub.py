@@ -1,0 +1,160 @@
+"""Bathtub reliability model (paper Fig. 7).
+
+The reliability of electronic components over their lifetime follows the
+bathtub curve [MIL-HDBK-338]: a decreasing infant-mortality hazard, a flat
+useful-life hazard, and an increasing wearout hazard.  Two facts from the
+paper's discussion (§III-E, citing Pauli & Meyna) shape the defaults:
+
+* infant-mortality failures affect only a *subpopulation* of shipped
+  units (manufacturing escapes), while wearout affects the whole
+  population;
+* the reported useful-life failure frequency of an automotive ECU is
+  about 50 failures per million units per year.
+
+The model is the superposition of three hazards::
+
+    h(t) = p_weak * h_infant(t | weak)  (population-averaged)
+         + h_useful                      (constant)
+         + h_wearout(t)                  (Weibull, beta > 1)
+
+where the infant term is averaged over the weak subpopulation: the
+population hazard contribution of a weak fraction ``p`` with hazard
+``h_w(t)`` and survival ``R_w(t)`` is ``p*h_w*R_w / (p*R_w + 1 - p)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.reliability import weibull
+from repro.units import HOURS_PER_YEAR
+
+ArrayLike = float | np.ndarray
+
+# Paper-cited field statistic: 50 failures per 1e6 ECUs per year.
+PAULI_MEYNA_USEFUL_LIFE_PER_YEAR = 50.0 / 1.0e6
+
+
+@dataclass(frozen=True, slots=True)
+class BathtubModel:
+    """Three-phase bathtub hazard model; times in **hours**.
+
+    Parameters
+    ----------
+    infant_shape, infant_scale_h:
+        Weibull parameters of the weak subpopulation's infant-mortality
+        mechanism (shape < 1).
+    weak_fraction:
+        Fraction of shipped units carrying a latent manufacturing defect.
+    useful_rate_per_h:
+        Constant random-failure hazard during useful life.
+    wearout_shape, wearout_scale_h:
+        Weibull parameters of the wearout mechanism (shape > 1).
+    """
+
+    infant_shape: float = 0.5
+    infant_scale_h: float = 200.0
+    weak_fraction: float = 0.02
+    useful_rate_per_h: float = PAULI_MEYNA_USEFUL_LIFE_PER_YEAR / HOURS_PER_YEAR
+    wearout_shape: float = 6.0
+    wearout_scale_h: float = 60.0 * HOURS_PER_YEAR
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.weak_fraction <= 1.0:
+            raise ConfigurationError(
+                f"weak_fraction must be in [0,1], got {self.weak_fraction}"
+            )
+        if self.infant_shape >= 1.0:
+            raise ConfigurationError(
+                "infant mortality needs a decreasing hazard (shape < 1), "
+                f"got {self.infant_shape}"
+            )
+        if self.wearout_shape <= 1.0:
+            raise ConfigurationError(
+                "wearout needs an increasing hazard (shape > 1), "
+                f"got {self.wearout_shape}"
+            )
+        if self.useful_rate_per_h < 0:
+            raise ConfigurationError(
+                f"useful_rate_per_h must be >= 0, got {self.useful_rate_per_h}"
+            )
+
+    # -- hazard components ------------------------------------------------
+
+    def infant_hazard(self, t_hours: ArrayLike) -> np.ndarray:
+        """Population-averaged infant-mortality hazard at age t."""
+        p = self.weak_fraction
+        if p == 0.0:
+            return np.zeros_like(np.asarray(t_hours, dtype=float))
+        h_w = weibull.hazard(t_hours, self.infant_shape, self.infant_scale_h)
+        r_w = weibull.survival(t_hours, self.infant_shape, self.infant_scale_h)
+        return p * h_w * r_w / (p * r_w + (1.0 - p))
+
+    def useful_hazard(self, t_hours: ArrayLike) -> np.ndarray:
+        return np.full_like(
+            np.asarray(t_hours, dtype=float), self.useful_rate_per_h
+        )
+
+    def wearout_hazard(self, t_hours: ArrayLike) -> np.ndarray:
+        return weibull.hazard(t_hours, self.wearout_shape, self.wearout_scale_h)
+
+    def hazard(self, t_hours: ArrayLike) -> np.ndarray:
+        """Total population hazard h(t)."""
+        return (
+            self.infant_hazard(t_hours)
+            + self.useful_hazard(t_hours)
+            + self.wearout_hazard(t_hours)
+        )
+
+    # -- derived quantities -----------------------------------------------
+
+    def phase_of(self, t_hours: float) -> str:
+        """Dominant phase at age t: 'infant', 'useful' or 'wearout'."""
+        contributions = {
+            "infant": float(self.infant_hazard(t_hours)),
+            "useful": float(self.useful_hazard(t_hours)),
+            "wearout": float(self.wearout_hazard(t_hours)),
+        }
+        return max(contributions, key=contributions.get)
+
+    def curve(
+        self, horizon_hours: float, points: int = 200
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """(t, h(t)) series for plotting / the Fig. 7 bench."""
+        if horizon_hours <= 0:
+            raise ConfigurationError(
+                f"horizon must be > 0, got {horizon_hours}"
+            )
+        if points < 2:
+            raise ConfigurationError(f"points must be >= 2, got {points}")
+        t = np.linspace(1.0, float(horizon_hours), int(points))
+        return t, self.hazard(t)
+
+    def sample_failure_age_hours(
+        self, rng: np.random.Generator, size: int = 1
+    ) -> np.ndarray:
+        """Sample unit failure ages from the competing mechanisms.
+
+        Each unit fails at the minimum of its (possibly absent) infant
+        mechanism, its random useful-life mechanism and its wearout
+        mechanism.
+        """
+        size = int(size)
+        infant = np.full(size, np.inf)
+        weak = rng.random(size) < self.weak_fraction
+        n_weak = int(weak.sum())
+        if n_weak:
+            infant[weak] = weibull.sample(
+                rng, self.infant_shape, self.infant_scale_h, n_weak
+            )
+        if self.useful_rate_per_h > 0:
+            useful = rng.exponential(1.0 / self.useful_rate_per_h, size)
+        else:
+            useful = np.full(size, np.inf)
+        wearout = weibull.sample(
+            rng, self.wearout_shape, self.wearout_scale_h, size
+        )
+        return np.minimum(np.minimum(infant, useful), wearout)

@@ -1,0 +1,114 @@
+"""FIT-rate arithmetic and Poisson-process sampling helpers.
+
+The paper's quantitative assumptions are expressed in FIT (failures per
+10^9 device-hours, §III-E).  This module provides conversions plus
+vectorised arrival-time sampling for homogeneous and time-varying Poisson
+processes — the primitive behind all stochastic fault injection.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.units import US_PER_HOUR, fit_to_per_us
+
+
+def exponential_arrivals_us(
+    rng: np.random.Generator,
+    fit: float,
+    horizon_us: int,
+    start_us: int = 0,
+) -> np.ndarray:
+    """Arrival times of a homogeneous Poisson process at ``fit`` within
+    ``[start_us, horizon_us)``, as sorted integer microsecond times.
+
+    Vectorised: draws the expected count (plus safety margin) of
+    exponential gaps at once and cumulative-sums them, retrying only in
+    the (rare) case the pre-drawn gaps do not span the horizon.
+    """
+    if fit < 0:
+        raise ConfigurationError(f"fit must be >= 0, got {fit}")
+    if horizon_us <= start_us or fit == 0.0:
+        return np.empty(0, dtype=np.int64)
+    rate = fit_to_per_us(fit)
+    span = horizon_us - start_us
+    expected = rate * span
+    out: list[np.ndarray] = []
+    t = float(start_us)
+    while t < horizon_us:
+        batch = max(16, int(expected * 1.5) + 1)
+        gaps = rng.exponential(1.0 / rate, batch)
+        times = t + np.cumsum(gaps)
+        out.append(times)
+        t = float(times[-1])
+    times = np.concatenate(out)
+    times = times[times < horizon_us]
+    return times.astype(np.int64)
+
+
+def thinned_arrivals_us(
+    rng: np.random.Generator,
+    fit_of_time: Callable[[np.ndarray], np.ndarray],
+    fit_max: float,
+    horizon_us: int,
+    start_us: int = 0,
+) -> np.ndarray:
+    """Arrivals of a non-homogeneous Poisson process by thinning.
+
+    ``fit_of_time`` maps an array of times (microseconds) to instantaneous
+    FIT rates; ``fit_max`` must dominate it over the horizon.  Used for
+    wearout processes whose transient rate grows over time.
+    """
+    if fit_max <= 0:
+        return np.empty(0, dtype=np.int64)
+    candidates = exponential_arrivals_us(rng, fit_max, horizon_us, start_us)
+    if candidates.size == 0:
+        return candidates
+    rates = np.asarray(fit_of_time(candidates), dtype=float)
+    if np.any(rates > fit_max * (1.0 + 1e-9)):
+        raise ConfigurationError(
+            "fit_of_time exceeds fit_max over the horizon; thinning invalid"
+        )
+    keep = rng.random(candidates.size) < rates / fit_max
+    return candidates[keep]
+
+
+def expected_failures(fit: float, hours: float, units: int = 1) -> float:
+    """Expected failure count of ``units`` devices over ``hours``."""
+    if hours < 0 or units < 0:
+        raise ConfigurationError("hours and units must be >= 0")
+    return fit * 1e-9 * hours * units
+
+
+def observed_fit(failures: int, hours: float, units: int = 1) -> float:
+    """Point estimate of the FIT rate from an observation window."""
+    device_hours = hours * units
+    if device_hours <= 0:
+        raise ConfigurationError("observation window must be positive")
+    return failures / device_hours * 1e9
+
+
+def fit_from_mtbf_hours(mtbf_hours: float) -> float:
+    """FIT rate of an exponential process with the given MTBF."""
+    if mtbf_hours <= 0:
+        raise ConfigurationError(f"mtbf_hours must be > 0, got {mtbf_hours}")
+    return 1e9 / mtbf_hours
+
+
+def arrivals_per_hour_to_fit(arrivals: float) -> float:
+    """Convenience: convert an hourly event rate to FIT."""
+    return arrivals * 1e9
+
+
+__all__ = [
+    "exponential_arrivals_us",
+    "thinned_arrivals_us",
+    "expected_failures",
+    "observed_fit",
+    "fit_from_mtbf_hours",
+    "arrivals_per_hour_to_fit",
+    "US_PER_HOUR",
+]

@@ -1,0 +1,73 @@
+"""Pecht's law — semiconductor reliability improvement over time.
+
+"Semiconductor device reliability in terms of time-to-failure is doubling
+every fourteen months based on activation energy trends of semiconductor
+devices" (paper §III-E, citing Mishra/Pecht/Goodman).  The paper uses this
+to argue that *permanent* failure rates keep falling while shrinking
+geometries push *transient* (soft-error) rates up — the asymmetry its
+wearout indicator exploits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+DOUBLING_PERIOD_MONTHS = 14.0
+
+
+def time_to_failure_multiplier(months_elapsed: float | np.ndarray) -> np.ndarray:
+    """Factor by which time-to-failure has grown after ``months_elapsed``."""
+    months = np.asarray(months_elapsed, dtype=float)
+    return 2.0 ** (months / DOUBLING_PERIOD_MONTHS)
+
+
+def permanent_fit_after(
+    base_fit: float, months_elapsed: float | np.ndarray
+) -> np.ndarray:
+    """Projected permanent failure rate after technology progress.
+
+    Time-to-failure doubling halves the failure rate.
+    """
+    if base_fit < 0:
+        raise ConfigurationError(f"base_fit must be >= 0, got {base_fit}")
+    return base_fit / time_to_failure_multiplier(months_elapsed)
+
+
+def transient_fit_after(
+    base_fit: float,
+    months_elapsed: float | np.ndarray,
+    growth_per_doubling: float = 1.4,
+) -> np.ndarray:
+    """Projected transient (soft-error) rate under geometry shrinking.
+
+    Constantinescu attributes rising soft-error rates to shrinking
+    geometries, lower supply voltages and higher frequencies; we model the
+    countertrend as a geometric growth per technology doubling period.
+    """
+    if base_fit < 0:
+        raise ConfigurationError(f"base_fit must be >= 0, got {base_fit}")
+    if growth_per_doubling <= 0:
+        raise ConfigurationError(
+            f"growth_per_doubling must be > 0, got {growth_per_doubling}"
+        )
+    months = np.asarray(months_elapsed, dtype=float)
+    return base_fit * growth_per_doubling ** (months / DOUBLING_PERIOD_MONTHS)
+
+
+def transient_to_permanent_ratio(
+    months_elapsed: float | np.ndarray,
+    base_ratio: float = 1_000.0,
+    growth_per_doubling: float = 1.4,
+) -> np.ndarray:
+    """Evolution of the transient:permanent rate ratio (paper: ~1000x today).
+
+    The ratio grows by ``2 * growth_per_doubling`` per doubling period —
+    the product of the permanent-rate halving and the transient-rate
+    growth.
+    """
+    months = np.asarray(months_elapsed, dtype=float)
+    return base_ratio * (2.0 * growth_per_doubling) ** (
+        months / DOUBLING_PERIOD_MONTHS
+    )

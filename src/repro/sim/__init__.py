@@ -1,0 +1,34 @@
+"""Discrete-event simulation substrate: kernel, RNG streams, tracing."""
+
+from repro.sim.engine import (
+    PRIORITY_APPLICATION,
+    PRIORITY_DEFAULT,
+    PRIORITY_FAULT,
+    PRIORITY_MONITOR,
+    PRIORITY_NETWORK,
+    ScheduledEvent,
+    Simulator,
+)
+from repro.sim.rng import RngRegistry
+from repro.sim.state import (
+    DistributedStateRecorder,
+    StateSnapshot,
+    attach_recorder,
+)
+from repro.sim.trace import TraceRecord, TraceRecorder
+
+__all__ = [
+    "PRIORITY_APPLICATION",
+    "PRIORITY_DEFAULT",
+    "PRIORITY_FAULT",
+    "PRIORITY_MONITOR",
+    "PRIORITY_NETWORK",
+    "ScheduledEvent",
+    "Simulator",
+    "RngRegistry",
+    "DistributedStateRecorder",
+    "StateSnapshot",
+    "attach_recorder",
+    "TraceRecord",
+    "TraceRecorder",
+]

@@ -1,0 +1,214 @@
+"""Discrete-event simulation kernel.
+
+A small, deterministic DES engine built on :mod:`heapq`.  Time is integer
+microseconds (see :mod:`repro.units`).  Ties are broken first by an explicit
+integer priority, then by insertion order, so identical runs produce
+identical event orderings — a prerequisite for reproducible fault traces.
+
+The kernel knows nothing about the DECOS architecture; the TTA network,
+components and fault injectors are all built as event producers on top.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections.abc import Callable
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import SchedulingError, SimulationError
+
+EventCallback = Callable[["Simulator"], None]
+
+# Priorities: lower value runs earlier among same-time events.  The TTA
+# layers use these bands so that e.g. frame delivery is observed before the
+# application reacts within the same instant.
+PRIORITY_FAULT = 0  # fault (de)activation toggles hardware state first
+PRIORITY_NETWORK = 10  # frame transmission / delivery
+PRIORITY_APPLICATION = 20  # job dispatch
+PRIORITY_MONITOR = 30  # diagnostic observation of the settled state
+PRIORITY_DEFAULT = 50
+
+
+@dataclass(frozen=True, slots=True)
+class ScheduledEvent:
+    """A handle to a scheduled event; allows cancellation."""
+
+    time: int
+    priority: int
+    seq: int
+    callback: EventCallback = field(compare=False)
+
+
+class Simulator:
+    """Deterministic discrete-event simulator.
+
+    Examples
+    --------
+    >>> sim = Simulator()
+    >>> hits = []
+    >>> _ = sim.schedule_at(10, lambda s: hits.append(s.now))
+    >>> _ = sim.schedule_at(5, lambda s: hits.append(s.now))
+    >>> sim.run_until(20)
+    >>> hits
+    [5, 10]
+    """
+
+    def __init__(self) -> None:
+        self._now: int = 0
+        self._heap: list[tuple[int, int, int, ScheduledEvent]] = []
+        self._seq = itertools.count()
+        self._cancelled: set[int] = set()
+        self._running = False
+        self._events_processed = 0
+
+    # -- inspection -------------------------------------------------------
+
+    @property
+    def now(self) -> int:
+        """Current simulated time in microseconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events executed so far."""
+        return self._events_processed
+
+    @property
+    def pending(self) -> int:
+        """Number of events still queued (including cancelled ones)."""
+        return len(self._heap) - len(self._cancelled)
+
+    # -- scheduling -------------------------------------------------------
+
+    def schedule_at(
+        self,
+        time: int,
+        callback: EventCallback,
+        *,
+        priority: int = PRIORITY_DEFAULT,
+    ) -> ScheduledEvent:
+        """Schedule ``callback`` to run at absolute time ``time``.
+
+        Raises
+        ------
+        SchedulingError
+            If ``time`` lies in the past.
+        """
+        time = int(time)
+        if time < self._now:
+            raise SchedulingError(
+                f"cannot schedule at t={time} (now is {self._now})"
+            )
+        seq = next(self._seq)
+        event = ScheduledEvent(time, priority, seq, callback)
+        heapq.heappush(self._heap, (time, priority, seq, event))
+        return event
+
+    def schedule_in(
+        self,
+        delay: int,
+        callback: EventCallback,
+        *,
+        priority: int = PRIORITY_DEFAULT,
+    ) -> ScheduledEvent:
+        """Schedule ``callback`` to run ``delay`` microseconds from now."""
+        if delay < 0:
+            raise SchedulingError(f"delay must be non-negative, got {delay}")
+        return self.schedule_at(self._now + int(delay), callback, priority=priority)
+
+    def cancel(self, event: ScheduledEvent) -> None:
+        """Cancel a previously scheduled event (no-op if already run)."""
+        self._cancelled.add(event.seq)
+
+    def schedule_periodic(
+        self,
+        period: int,
+        callback: EventCallback,
+        *,
+        start: int | None = None,
+        priority: int = PRIORITY_DEFAULT,
+    ) -> None:
+        """Schedule ``callback`` every ``period`` microseconds, forever.
+
+        The callback chain re-schedules itself; stop the cascade by running
+        the simulator only up to a horizon.
+        """
+        if period <= 0:
+            raise SchedulingError(f"period must be positive, got {period}")
+        first = self._now + period if start is None else int(start)
+
+        def tick(sim: Simulator) -> None:
+            callback(sim)
+            sim.schedule_at(sim.now + period, tick, priority=priority)
+
+        self.schedule_at(first, tick, priority=priority)
+
+    # -- execution --------------------------------------------------------
+
+    def step(self) -> bool:
+        """Execute the next pending event.  Returns False if queue empty."""
+        while self._heap:
+            time, _priority, seq, event = heapq.heappop(self._heap)
+            if seq in self._cancelled:
+                self._cancelled.discard(seq)
+                continue
+            if time < self._now:  # pragma: no cover - internal invariant
+                raise SimulationError("event time moved backwards")
+            self._now = time
+            self._events_processed += 1
+            event.callback(self)
+            return True
+        return False
+
+    def run_until(self, horizon: int, *, max_events: int | None = None) -> None:
+        """Run all events with ``time <= horizon`` then set now = horizon.
+
+        Parameters
+        ----------
+        horizon:
+            Absolute time (microseconds) to advance to.
+        max_events:
+            Optional safety valve; raises :class:`SimulationError` when
+            exceeded (guards against runaway self-scheduling loops).
+        """
+        horizon = int(horizon)
+        if horizon < self._now:
+            raise SchedulingError(
+                f"horizon {horizon} is before current time {self._now}"
+            )
+        if self._running:
+            raise SimulationError("run_until is not reentrant")
+        self._running = True
+        executed = 0
+        try:
+            while self._heap:
+                time, _priority, seq, event = self._heap[0]
+                if time > horizon:
+                    break
+                heapq.heappop(self._heap)
+                if seq in self._cancelled:
+                    self._cancelled.discard(seq)
+                    continue
+                self._now = time
+                self._events_processed += 1
+                executed += 1
+                if max_events is not None and executed > max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events} before horizon"
+                    )
+                event.callback(self)
+            self._now = horizon
+        finally:
+            self._running = False
+
+    def run_for(self, duration: int, **kwargs: Any) -> None:
+        """Run for ``duration`` microseconds from the current time."""
+        self.run_until(self._now + int(duration), **kwargs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Simulator(now={self._now}, pending={self.pending}, "
+            f"processed={self._events_processed})"
+        )

@@ -1,0 +1,92 @@
+"""Deterministic named random streams.
+
+Every stochastic element of the simulator draws from a named
+:class:`numpy.random.Generator` stream.  Streams are derived from a single
+master seed plus a stable 32-bit digest of the stream name, so
+
+* two runs with the same master seed reproduce identical traces, and
+* adding a new consumer stream never perturbs existing streams.
+
+The name digest uses :func:`zlib.crc32`, which is stable across processes
+(unlike ``hash(str)`` under ``PYTHONHASHSEED`` randomisation).
+"""
+
+from __future__ import annotations
+
+import zlib
+from collections.abc import Iterator
+
+import numpy as np
+
+
+def _name_digest(name: str) -> int:
+    return zlib.crc32(name.encode("utf-8"))
+
+
+class RngRegistry:
+    """Factory and cache for named, reproducible random generators.
+
+    Parameters
+    ----------
+    seed:
+        Master seed.  All streams are keyed off this value.
+
+    Examples
+    --------
+    >>> reg = RngRegistry(seed=42)
+    >>> a = reg.stream("faults.emi")
+    >>> b = reg.stream("faults.emi")
+    >>> a is b
+    True
+    >>> reg2 = RngRegistry(seed=42)
+    >>> float(reg2.stream("faults.emi").random()) == float(RngRegistry(42).stream("faults.emi").random())
+    True
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        if not isinstance(seed, (int, np.integer)):
+            raise TypeError(f"seed must be an int, got {type(seed).__name__}")
+        self._seed = int(seed)
+        self._streams: dict[str, np.random.Generator] = {}
+
+    @property
+    def seed(self) -> int:
+        """The master seed this registry was created with."""
+        return self._seed
+
+    def stream(self, name: str) -> np.random.Generator:
+        """Return the generator for ``name``, creating it on first use."""
+        gen = self._streams.get(name)
+        if gen is None:
+            seq = np.random.SeedSequence([self._seed, _name_digest(name)])
+            gen = np.random.default_rng(seq)
+            self._streams[name] = gen
+        return gen
+
+    def fresh(self, name: str) -> np.random.Generator:
+        """Return a *new* generator for ``name``, resetting its state.
+
+        Useful in tests that want to replay a single stream without
+        rebuilding the registry.
+        """
+        self._streams.pop(name, None)
+        return self.stream(name)
+
+    def spawn(self, name: str, count: int) -> list[np.random.Generator]:
+        """Create ``count`` independent child streams under ``name``.
+
+        Children are named ``{name}[i]`` and cached like ordinary streams.
+        """
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        return [self.stream(f"{name}[{i}]") for i in range(count)]
+
+    def names(self) -> Iterator[str]:
+        """Iterate over the names of all streams created so far."""
+        return iter(sorted(self._streams))
+
+    def __len__(self) -> int:
+        return len(self._streams)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RngRegistry(seed={self._seed}, streams={len(self._streams)})"

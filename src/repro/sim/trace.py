@@ -1,0 +1,125 @@
+"""Trace recording for simulations.
+
+A :class:`TraceRecorder` collects typed, timestamped records emitted by any
+layer of the stack (network frames, fault activations, symptoms, diagnostic
+verdicts).  Records are cheap named tuples; analysis code filters and
+aggregates them after the run.  Keeping one flat, append-only trace mirrors
+the paper's "operation on the distributed state": every observation is a
+fact about the cluster at a point of the sparse time base.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Callable, Iterator, Mapping
+from dataclasses import dataclass, field
+from typing import Any
+
+
+@dataclass(frozen=True, slots=True)
+class TraceRecord:
+    """One timestamped observation.
+
+    Attributes
+    ----------
+    time:
+        Global simulated time in microseconds.
+    kind:
+        Record category, e.g. ``"frame.sent"``, ``"fault.activated"``,
+        ``"symptom"``, ``"verdict"``.  Dotted namespaces by convention.
+    source:
+        Identifier of the emitting entity (component/job/service name).
+    data:
+        Free-form payload.  Values should be plain Python/NumPy scalars so
+        traces stay comparable across runs.
+    """
+
+    time: int
+    kind: str
+    source: str
+    data: Mapping[str, Any] = field(default_factory=dict)
+
+
+class TraceRecorder:
+    """Append-only store of :class:`TraceRecord` with query helpers."""
+
+    def __init__(self) -> None:
+        self._records: list[TraceRecord] = []
+        self._kind_counts: Counter[str] = Counter()
+
+    def record(
+        self,
+        time: int,
+        kind: str,
+        source: str,
+        /,
+        **data: Any,
+    ) -> TraceRecord:
+        """Append a record and return it."""
+        rec = TraceRecord(int(time), kind, source, data)
+        self._records.append(rec)
+        self._kind_counts[kind] += 1
+        return rec
+
+    # -- queries ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    def records(
+        self,
+        kind: str | None = None,
+        *,
+        source: str | None = None,
+        since: int | None = None,
+        until: int | None = None,
+        where: Callable[[TraceRecord], bool] | None = None,
+    ) -> list[TraceRecord]:
+        """Return records matching all given filters.
+
+        ``kind`` may end with ``"."`` to match a whole namespace, e.g.
+        ``records("frame.")`` matches ``frame.sent`` and ``frame.dropped``.
+        ``since``/``until`` bound the record time as a half-open interval
+        ``[since, until)``.
+        """
+        out = []
+        for rec in self._records:
+            if kind is not None:
+                if kind.endswith("."):
+                    if not rec.kind.startswith(kind):
+                        continue
+                elif rec.kind != kind:
+                    continue
+            if source is not None and rec.source != source:
+                continue
+            if since is not None and rec.time < since:
+                continue
+            if until is not None and rec.time >= until:
+                continue
+            if where is not None and not where(rec):
+                continue
+            out.append(rec)
+        return out
+
+    def count(self, kind: str | None = None, **kwargs: Any) -> int:
+        """Count matching records (fast path for exact-kind, no filters)."""
+        if kind is not None and not kwargs and not kind.endswith("."):
+            return self._kind_counts[kind]
+        return len(self.records(kind, **kwargs))
+
+    def kinds(self) -> dict[str, int]:
+        """Mapping of record kind to number of occurrences."""
+        return dict(self._kind_counts)
+
+    def last(self, kind: str | None = None, **kwargs: Any) -> TraceRecord | None:
+        """Most recent matching record, or None."""
+        matches = self.records(kind, **kwargs)
+        return matches[-1] if matches else None
+
+    def clear(self) -> None:
+        """Drop all records (e.g. after a warm-up phase)."""
+        self._records.clear()
+        self._kind_counts.clear()

@@ -1,0 +1,95 @@
+"""Bus guardians — temporal fault isolation (core service C3).
+
+A bus guardian is an independent device that opens a component's transmit
+path only during the component's own TDMA slots.  It converts the arbitrary
+failure mode of a component (e.g. a babbling idiot flooding the bus) into a
+fail-silent manifestation in the time domain: untimely transmissions are
+cut off and never reach the medium, so one faulty component cannot destroy
+the communication of the others — the strong fault-isolation property that
+the paper's fault hypothesis (§II-E) relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.tta.tdma import TdmaSchedule
+
+
+@dataclass(slots=True)
+class GuardianDecision:
+    """Outcome of one transmit-gate check."""
+
+    allowed: bool
+    reason: str
+
+
+@dataclass(slots=True)
+class BusGuardian:
+    """Guardian for a single component.
+
+    Parameters
+    ----------
+    component:
+        The guarded component's name.
+    schedule:
+        The cluster TDMA schedule (the guardian has its own copy of the
+        static schedule and, in real systems, an independent clock; we let
+        it use reference time, i.e. an ideal guardian clock).
+    window_tolerance_us:
+        Grace margin around the slot boundaries accounting for the cluster
+        precision: sends within ``slot start/end +- tolerance`` pass.
+    """
+
+    component: str
+    schedule: TdmaSchedule
+    window_tolerance_us: int = 0
+    blocked_count: int = 0
+    passed_count: int = 0
+    _log: list[tuple[int, str]] = field(default_factory=list)
+
+    def check(self, send_time_us: float) -> GuardianDecision:
+        """Gate a transmission attempt at ``send_time_us``.
+
+        The attempt passes iff it falls within (tolerance of) a slot owned
+        by the guarded component.
+        """
+        t = int(send_time_us)
+        slot = self.schedule.slot_at(max(t, 0))
+        in_window = (
+            slot.sender == self.component
+            and slot.start_us - self.window_tolerance_us
+            <= send_time_us
+            <= slot.end_us + self.window_tolerance_us
+        )
+        if in_window:
+            self.passed_count += 1
+            return GuardianDecision(True, "in-slot")
+        # Also accept sends in the tolerance bands adjacent to the
+        # component's own slot (early/late sends due to clock deviation).
+        if slot.sender != self.component and self.window_tolerance_us > 0:
+            nxt = self.schedule.slot_at(slot.end_us)
+            if (
+                nxt.sender == self.component
+                and nxt.start_us - send_time_us <= self.window_tolerance_us
+            ):
+                self.passed_count += 1
+                return GuardianDecision(True, "early-within-tolerance")
+            if slot.start_us > 0:
+                prev = self.schedule.slot_at(slot.start_us - 1)
+                if (
+                    prev.sender == self.component
+                    and send_time_us - prev.end_us <= self.window_tolerance_us
+                ):
+                    self.passed_count += 1
+                    return GuardianDecision(True, "late-within-tolerance")
+        self.blocked_count += 1
+        reason = (
+            "foreign-slot" if slot.sender != self.component else "outside-window"
+        )
+        self._log.append((t, reason))
+        return GuardianDecision(False, reason)
+
+    def blocked_events(self) -> list[tuple[int, str]]:
+        """Timestamped log of blocked transmission attempts."""
+        return list(self._log)

@@ -1,0 +1,191 @@
+"""Unit tests for scoring metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.metrics import (
+    ConfusionMatrix,
+    evaluate_recommendations,
+    removal_justified,
+    score_campaign,
+)
+from repro.core.classification import Verdict
+from repro.core.fault_model import (
+    FaultClass,
+    FaultDescriptor,
+    OriginPhase,
+    Persistence,
+    component_fru,
+    job_fru,
+)
+from repro.core.maintenance import (
+    MaintenanceAction,
+    MaintenanceRecommendation,
+)
+from repro.errors import AnalysisError
+
+
+def desc(fault_class, fru, fid="F1"):
+    return FaultDescriptor(
+        fid, fault_class, Persistence.TRANSIENT, OriginPhase.OPERATIONAL, fru, "m"
+    )
+
+
+def verd(fault_class, fru, confidence=0.9):
+    return Verdict(fru, fault_class, confidence, 3, Persistence.TRANSIENT)
+
+
+def rec(action, fru, fault_class=FaultClass.COMPONENT_INTERNAL):
+    return MaintenanceRecommendation(
+        fru=fru,
+        fault_class=fault_class,
+        action=action,
+        confidence=1.0,
+        removes_fru=action is MaintenanceAction.REPLACE_COMPONENT,
+    )
+
+
+# -- ConfusionMatrix ------------------------------------------------------------
+
+
+def test_confusion_matrix_accuracy():
+    m = ConfusionMatrix()
+    m.add(FaultClass.COMPONENT_INTERNAL, FaultClass.COMPONENT_INTERNAL)
+    m.add(FaultClass.COMPONENT_INTERNAL, FaultClass.COMPONENT_EXTERNAL)
+    m.add(FaultClass.COMPONENT_EXTERNAL, None)
+    assert m.total == 3
+    assert m.correct == 1
+    assert m.accuracy == pytest.approx(1 / 3)
+    assert m.count(FaultClass.COMPONENT_EXTERNAL, None) == 1
+
+
+def test_confusion_matrix_precision_recall():
+    m = ConfusionMatrix()
+    m.add(FaultClass.COMPONENT_INTERNAL, FaultClass.COMPONENT_INTERNAL)
+    m.add(FaultClass.COMPONENT_INTERNAL, FaultClass.COMPONENT_INTERNAL)
+    m.add(FaultClass.COMPONENT_EXTERNAL, FaultClass.COMPONENT_INTERNAL)
+    assert m.recall(FaultClass.COMPONENT_INTERNAL) == pytest.approx(1.0)
+    assert m.precision(FaultClass.COMPONENT_INTERNAL) == pytest.approx(2 / 3)
+    assert m.recall(FaultClass.COMPONENT_EXTERNAL) == 0.0
+
+
+def test_confusion_matrix_rows_render():
+    m = ConfusionMatrix()
+    m.add(FaultClass.COMPONENT_INTERNAL, None)
+    rows = m.rows()
+    assert rows[0][0] == "component-internal"
+    labels = m.labels()
+    assert "missed" in labels
+
+
+# -- score_campaign --------------------------------------------------------------
+
+
+def test_score_campaign_exact_match():
+    truth = [desc(FaultClass.COMPONENT_INTERNAL, component_fru("c1"))]
+    verdicts = [verd(FaultClass.COMPONENT_INTERNAL, component_fru("c1"))]
+    score = score_campaign(truth, verdicts)
+    assert score.accuracy == 1.0
+    assert score.matched == 1
+    assert score.missed == 0
+    assert score.spurious_verdicts == 0
+
+
+def test_score_campaign_missed_and_spurious():
+    truth = [desc(FaultClass.COMPONENT_INTERNAL, component_fru("c1"))]
+    verdicts = [verd(FaultClass.COMPONENT_EXTERNAL, component_fru("c9"))]
+    score = score_campaign(truth, verdicts)
+    assert score.missed == 1
+    assert score.spurious_verdicts == 1
+
+
+def test_score_campaign_highest_confidence_verdict_wins():
+    truth = [desc(FaultClass.COMPONENT_INTERNAL, component_fru("c1"))]
+    verdicts = [
+        verd(FaultClass.COMPONENT_EXTERNAL, component_fru("c1"), 0.4),
+        verd(FaultClass.COMPONENT_INTERNAL, component_fru("c1"), 0.9),
+    ]
+    assert score_campaign(truth, verdicts).accuracy == 1.0
+
+
+def test_score_campaign_job_fault_scored_on_job_fru():
+    truth = [desc(FaultClass.JOB_INHERENT_SOFTWARE, job_fru("A1"))]
+    verdicts = [verd(FaultClass.JOB_INHERENT_SOFTWARE, job_fru("A1"))]
+    assert score_campaign(truth, verdicts).accuracy == 1.0
+
+
+def test_score_campaign_job_fault_falls_back_to_host_component():
+    """A software fault misdiagnosed as a hardware fault of the hosting
+    component shows up as a confusion, not a miss."""
+    truth = [desc(FaultClass.JOB_INHERENT_SOFTWARE, job_fru("A1"))]
+    verdicts = [verd(FaultClass.COMPONENT_INTERNAL, component_fru("comp1"))]
+    score = score_campaign(truth, verdicts, job_locations={"A1": "comp1"})
+    assert score.matched == 1
+    assert score.accuracy == 0.0
+    assert score.spurious_verdicts == 0
+
+
+def test_score_campaign_empty_truth_rejected():
+    with pytest.raises(AnalysisError):
+        score_campaign([], [])
+
+
+# -- removal_justified / evaluate_recommendations ----------------------------------
+
+
+def test_replacement_justified_only_for_true_internal():
+    truth = [desc(FaultClass.COMPONENT_INTERNAL, component_fru("c1"))]
+    good = rec(MaintenanceAction.REPLACE_COMPONENT, component_fru("c1"))
+    bad = rec(MaintenanceAction.REPLACE_COMPONENT, component_fru("c2"))
+    assert removal_justified(good, truth)
+    assert not removal_justified(bad, truth)
+
+
+def test_replacement_for_external_fault_is_nff():
+    truth = [desc(FaultClass.COMPONENT_EXTERNAL, component_fru("c1"))]
+    replace = rec(MaintenanceAction.REPLACE_COMPONENT, component_fru("c1"))
+    assert not removal_justified(replace, truth)
+
+
+def test_connector_inspection_justified_for_borderline():
+    truth = [desc(FaultClass.COMPONENT_BORDERLINE, component_fru("c1"))]
+    inspect = rec(
+        MaintenanceAction.INSPECT_CONNECTOR,
+        component_fru("c1"),
+        FaultClass.COMPONENT_BORDERLINE,
+    )
+    assert removal_justified(inspect, truth)
+
+
+def test_transducer_inspection_justified_for_sensor_fault():
+    truth = [desc(FaultClass.JOB_INHERENT_TRANSDUCER, job_fru("C1"))]
+    inspect = rec(
+        MaintenanceAction.INSPECT_TRANSDUCER,
+        job_fru("C1"),
+        FaultClass.JOB_INHERENT_TRANSDUCER,
+    )
+    assert removal_justified(inspect, truth)
+
+
+def test_non_removal_actions_vacuously_justified():
+    truth = [desc(FaultClass.COMPONENT_EXTERNAL, component_fru("c1"))]
+    no_action = rec(
+        MaintenanceAction.NO_ACTION, component_fru("c1"), FaultClass.COMPONENT_EXTERNAL
+    )
+    assert removal_justified(no_action, truth)
+
+
+def test_evaluate_recommendations_fills_cost_model():
+    truth = [
+        desc(FaultClass.COMPONENT_INTERNAL, component_fru("c1"), "F1"),
+        desc(FaultClass.COMPONENT_EXTERNAL, component_fru("c2"), "F2"),
+    ]
+    recs = [
+        rec(MaintenanceAction.REPLACE_COMPONENT, component_fru("c1")),
+        rec(MaintenanceAction.REPLACE_COMPONENT, component_fru("c2")),
+    ]
+    model = evaluate_recommendations(recs, truth)
+    assert model.removals == 2
+    assert model.nff_removals == 1
+    assert model.nff_ratio == pytest.approx(0.5)

@@ -1,0 +1,47 @@
+"""Unit tests for report rendering."""
+
+from __future__ import annotations
+
+from repro.analysis.reports import fmt, render_series, render_table
+
+
+def test_fmt_scalars():
+    assert fmt(True) == "yes"
+    assert fmt(False) == "no"
+    assert fmt(0.0) == "0"
+    assert fmt(3.14159) == "3.14"
+    assert fmt(1.5e-7) == "1.500e-07"
+    assert fmt(2.5e9) == "2.500e+09"
+    assert fmt("text") == "text"
+    assert fmt(12) == "12"
+
+
+def test_render_table_alignment_and_title():
+    out = render_table(
+        ["name", "value"],
+        [["alpha", 1.0], ["beta-long-name", 22.5]],
+        title="Demo",
+    )
+    lines = out.splitlines()
+    assert lines[0] == "Demo"
+    widths = {len(l) for l in lines[1:]}
+    assert len(widths) == 1  # all box lines equal width
+    assert "alpha" in out and "beta-long-name" in out
+
+
+def test_render_table_pads_short_rows():
+    out = render_table(["a", "b", "c"], [["x"]])
+    assert "x" in out
+
+
+def test_render_series_linear_and_log():
+    out = render_series([1, 2, 3], [1.0, 10.0, 100.0], "t", "h", title="curve")
+    assert out.splitlines()[0] == "curve"
+    assert "#" in out
+    log_out = render_series([1, 2, 3], [1.0, 10.0, 100.0], log_y=True)
+    assert "#" in log_out
+
+
+def test_render_series_constant_values():
+    out = render_series([1, 2], [5.0, 5.0])
+    assert "5" in out

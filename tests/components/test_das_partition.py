@@ -1,0 +1,62 @@
+"""Unit tests for DAS and partition specifications."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.components.das import Criticality, DasSpec
+from repro.components.job import JobSpec
+from repro.components.partition import Partition, PartitionSpec
+from repro.components.ports import PortDirection, PortSpec
+from repro.errors import ConfigurationError
+
+
+def job(name, das="d", safety=False):
+    return JobSpec(
+        name, das, (PortSpec("out", PortDirection.OUT),), safety_critical=safety
+    )
+
+
+def test_das_holds_jobs():
+    das = DasSpec("d", Criticality.NON_SAFETY_CRITICAL, (job("a"), job("b")))
+    assert das.job_names() == ("a", "b")
+    assert das.job("a").name == "a"
+    assert not das.is_safety_critical
+
+
+def test_das_rejects_duplicate_jobs():
+    with pytest.raises(ConfigurationError):
+        DasSpec("d", Criticality.NON_SAFETY_CRITICAL, (job("a"), job("a")))
+
+
+def test_das_rejects_foreign_job():
+    foreign = job("a", das="other")
+    with pytest.raises(ConfigurationError):
+        DasSpec("d", Criticality.NON_SAFETY_CRITICAL, (foreign,))
+
+
+def test_das_criticality_flag_must_match():
+    with pytest.raises(ConfigurationError):
+        DasSpec("d", Criticality.SAFETY_CRITICAL, (job("a", safety=False),))
+    das = DasSpec("d", Criticality.SAFETY_CRITICAL, (job("a", safety=True),))
+    assert das.is_safety_critical
+
+
+def test_das_unknown_job_lookup():
+    das = DasSpec("d", Criticality.NON_SAFETY_CRITICAL, (job("a"),))
+    with pytest.raises(ConfigurationError):
+        das.job("ghost")
+
+
+def test_partition_hosts_one_job():
+    part = Partition(PartitionSpec("p0", job("a"), cpu_share=0.25))
+    assert part.job.name == "a"
+    assert part.das == "d"
+    assert not part.safety_critical
+
+
+def test_partition_share_validation():
+    with pytest.raises(ConfigurationError):
+        PartitionSpec("p0", job("a"), cpu_share=0.0)
+    with pytest.raises(ConfigurationError):
+        PartitionSpec("p0", job("a"), cpu_share=1.5)

@@ -1,0 +1,48 @@
+"""Unit tests for hidden gateway jobs."""
+
+from __future__ import annotations
+
+from repro.components.gateway import gateway_behaviour, make_gateway_job
+from repro.components.job import Job
+from repro.components.ports import Message, PortDirection, PortKind
+
+
+def test_gateway_spec_has_matching_ports():
+    spec = make_gateway_job("gw", "telematics", {"wheel_in": "wheel_out"})
+    names = {(p.name, p.direction) for p in spec.ports}
+    assert ("wheel_in", PortDirection.IN) in names
+    assert ("wheel_out", PortDirection.OUT) in names
+
+
+def test_gateway_forwards_state_value():
+    spec = make_gateway_job("gw", "telematics", {"a_in": "a_out"})
+    job = Job(spec)
+    job.port("a_in").push(Message("src", "out", 7.5, 1, 0))
+    msgs = job.dispatch(0)
+    assert len(msgs) == 1
+    assert msgs[0].port == "a_out"
+    assert msgs[0].value == 7.5
+
+
+def test_gateway_emits_nothing_without_input():
+    spec = make_gateway_job("gw", "telematics", {"a_in": "a_out"})
+    job = Job(spec)
+    assert job.dispatch(0) == []
+
+
+def test_gateway_behaviour_handles_event_ports():
+    from repro.components.job import DispatchContext
+    from repro.components.ports import Port, PortSpec
+
+    in_port = Port(
+        PortSpec("e_in", PortDirection.IN, PortKind.EVENT, queue_capacity=4),
+        "gw",
+    )
+    in_port.push(Message("src", "out", 3.0, 1, 0))
+    behaviour = gateway_behaviour({"e_in": "e_out"})
+    ctx = DispatchContext(0, 0, {"e_in": in_port}, {}, {})
+    assert behaviour(ctx) == {"e_out": 3.0}
+    # queue consumed
+    assert behaviour(
+        DispatchContext(1, 1, {"e_in": in_port}, {}, {})
+    ) == {}

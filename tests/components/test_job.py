@@ -1,0 +1,153 @@
+"""Unit tests for jobs, behaviours and fault hooks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.components.job import (
+    DispatchContext,
+    Job,
+    JobSpec,
+    counter_behaviour,
+    drain_inputs,
+    sensor_relay_behaviour,
+    sine_behaviour,
+    time_sine_behaviour,
+)
+from repro.components.ports import (
+    PortDirection,
+    PortKind,
+    PortSpec,
+)
+from repro.errors import ConfigurationError
+
+
+def make_job(behaviour=None, ports=None):
+    ports = ports or (
+        PortSpec("out", PortDirection.OUT),
+        PortSpec("in", PortDirection.IN, PortKind.EVENT, queue_capacity=4),
+    )
+    return Job(JobSpec("j1", "das1", ports, behaviour))
+
+
+def test_dispatch_counter_behaviour():
+    job = make_job(counter_behaviour(step=2.0, start=1.0))
+    msgs = job.dispatch(100)
+    assert len(msgs) == 1
+    assert msgs[0].value == 1.0
+    assert msgs[0].port == "out"
+    msgs = job.dispatch(200)
+    assert msgs[0].value == 3.0
+    assert job.dispatch_count == 2
+
+
+def test_star_broadcasts_to_all_out_ports():
+    ports = (
+        PortSpec("out1", PortDirection.OUT),
+        PortSpec("out2", PortDirection.OUT),
+    )
+    job = make_job(counter_behaviour(), ports=ports)
+    msgs = job.dispatch(0)
+    assert {m.port for m in msgs} == {"out1", "out2"}
+
+
+def test_behaviour_writing_to_in_port_rejected():
+    job = make_job(lambda ctx: {"in": 1.0})
+    with pytest.raises(ConfigurationError):
+        job.dispatch(0)
+
+
+def test_no_behaviour_emits_nothing():
+    job = make_job(None)
+    assert job.dispatch(0) == []
+
+
+def test_crash_and_suppression():
+    job = make_job(counter_behaviour())
+    job.suppressed_until_us = 100
+    assert job.dispatch(50) == []
+    assert job.dispatch(150) != []
+    job.crashed = True
+    assert job.dispatch(200) == []
+    assert not job.active(200)
+
+
+def test_behaviour_wrapper_hook():
+    job = make_job(counter_behaviour())
+    job.behaviour_wrapper = lambda ctx, outputs: {"out": -1.0}
+    assert job.dispatch(0)[0].value == -1.0
+
+
+def test_sensor_relay_and_transform():
+    ports = (PortSpec("out", PortDirection.OUT),)
+    job = make_job(sensor_relay_behaviour("t", "out"), ports=ports)
+    job.sensors["t"] = 42.0
+    assert job.dispatch(0)[0].value == 42.0
+    job.sensor_transform = lambda name, value: value + 1.0
+    assert job.dispatch(1)[0].value == 43.0
+    job.replace_transducer()
+    assert job.dispatch(2)[0].value == 42.0
+
+
+def test_update_software_clears_fault_and_bumps_version():
+    job = make_job(counter_behaviour())
+    job.behaviour_wrapper = lambda ctx, outputs: {"out": -1.0}
+    job.update_software("2.0")
+    assert job.version == "2.0"
+    assert job.behaviour_wrapper is None
+    assert job.update_count == 1
+
+
+def test_update_software_with_new_behaviour():
+    job = make_job(counter_behaviour())
+    job.update_software("3.0", behaviour=lambda ctx: {"out": 9.0})
+    assert job.dispatch(0)[0].value == 9.0
+
+
+def test_sine_behaviour_bounded_and_periodic():
+    job = make_job(sine_behaviour(amplitude=2.0, period_dispatches=8))
+    values = [job.dispatch(i)[0].value for i in range(16)]
+    assert all(abs(v) <= 2.0 + 1e-9 for v in values)
+    assert values[:8] == pytest.approx(values[8:])
+
+
+def test_time_sine_quantisation_makes_replicas_agree():
+    b = time_sine_behaviour(period_us=1_000_000, quantum_us=5_000)
+    ctx1 = DispatchContext(10_100, 0, {}, {}, {})
+    ctx2 = DispatchContext(13_900, 7, {}, {}, {})  # same 5ms quantum
+    assert b(ctx1)["*"] == b(ctx2)["*"]
+
+
+def test_time_sine_validation():
+    with pytest.raises(ConfigurationError):
+        time_sine_behaviour(period_us=0)
+    with pytest.raises(ConfigurationError):
+        time_sine_behaviour(quantum_us=0)
+    with pytest.raises(ConfigurationError):
+        sine_behaviour(period_dispatches=1)
+
+
+def test_drain_inputs_empties_event_queue():
+    from repro.components.ports import Message
+
+    job = make_job(drain_inputs(counter_behaviour()))
+    port = job.port("in")
+    for i in range(3):
+        port.push(Message("src", "out", float(i), i, 0))
+    msgs = job.dispatch(0)
+    assert port.queue_length == 0
+    assert msgs[0].port == "out"
+    assert job.state["consumed"] == [0.0, 1.0, 2.0]
+
+
+def test_port_lookup_errors():
+    job = make_job()
+    with pytest.raises(ConfigurationError):
+        job.port("ghost")
+    with pytest.raises(ConfigurationError):
+        job.spec.port("ghost")
+
+
+def test_job_spec_port_lookup():
+    job = make_job()
+    assert job.spec.port("out").direction is PortDirection.OUT

@@ -1,0 +1,27 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.presets import figure10_cluster, small_cluster
+from repro.units import ms
+
+
+@pytest.fixture
+def cluster4():
+    """A small 4-component cluster (fresh per test)."""
+    return small_cluster(n_components=4, seed=11)
+
+
+@pytest.fixture
+def fig10():
+    """The Fig. 10 reference cluster parts (fresh per test)."""
+    return figure10_cluster(seed=11)
+
+
+@pytest.fixture
+def ran_cluster4(cluster4):
+    """cluster4 after 100 ms of healthy operation."""
+    cluster4.run(ms(100))
+    return cluster4

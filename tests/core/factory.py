@@ -1,0 +1,77 @@
+"""Symptom/topology factories shared by the core-layer tests."""
+
+from __future__ import annotations
+
+from repro.core.ona import OnaContext, Topology
+from repro.core.symptoms import Symptom, SymptomType
+from repro.tta.time_base import SparseTimeBase
+
+TIME_BASE = SparseTimeBase(granularity_us=1000, precision_us=10)
+
+
+def topology() -> Topology:
+    """Five components in a row; jobs as in the Fig. 10 scenario."""
+    return Topology(
+        positions={f"comp{i}": (float(i), 0.0) for i in range(1, 6)},
+        component_of_job={
+            "A1": "comp1",
+            "B1": "comp1",
+            "S1": "comp1",
+            "A3": "comp2",
+            "C1": "comp2",
+            "C2": "comp2",
+            "S2": "comp2",
+            "A2": "comp3",
+            "B2": "comp3",
+            "S3": "comp3",
+            "s-voter": "comp4",
+            "diag": "comp5",
+        },
+        das_of_job={
+            "A1": "A",
+            "A2": "A",
+            "A3": "A",
+            "B1": "B",
+            "B2": "B",
+            "C1": "C",
+            "C2": "C",
+            "S1": "S",
+            "S2": "S",
+            "S3": "S",
+            "s-voter": "S",
+            "diag": "DIAG",
+        },
+        channels=2,
+    )
+
+
+def sym(
+    type=SymptomType.OMISSION,
+    subject="comp1",
+    point=0,
+    observer="comp5",
+    job=None,
+    channel=None,
+    magnitude=0.0,
+    detail="",
+) -> Symptom:
+    return Symptom(
+        type=type,
+        observer=observer,
+        subject_component=subject,
+        time_us=point * 1000,
+        lattice_point=point,
+        subject_job=job,
+        channel=channel,
+        magnitude=magnitude,
+        detail=detail,
+    )
+
+
+def ctx(window, now_point=1000) -> OnaContext:
+    return OnaContext(
+        now_us=now_point * 1000,
+        time_base=TIME_BASE,
+        window=list(window),
+        topology=topology(),
+    )

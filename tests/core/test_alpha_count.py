@@ -1,0 +1,132 @@
+"""Unit + property tests for the alpha-count mechanism."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.alpha_count import AlphaCount, AlphaCountBank
+from repro.errors import ConfigurationError
+
+
+def test_failures_accumulate_and_trigger():
+    ac = AlphaCount(decay=0.9, threshold=3.0)
+    for _ in range(3):
+        ac.observe(True, now_us=100)
+    assert ac.score == pytest.approx(3.0)
+    assert ac.triggered
+    assert ac.first_crossing_at_us == 100
+    assert ac.failures_seen == 3
+
+
+def test_correct_observations_decay_score():
+    ac = AlphaCount(decay=0.5, threshold=10.0)
+    ac.observe(True)
+    ac.observe(False)
+    ac.observe(False)
+    assert ac.score == pytest.approx(0.25)
+    assert not ac.triggered
+
+
+def test_sporadic_failures_never_trigger():
+    """An isolated transient surrounded by long correct stretches decays
+    away — the core discrimination property (§V-C)."""
+    ac = AlphaCount(decay=0.9, threshold=3.0)
+    for _ in range(5):
+        ac.observe(True)
+        for _ in range(50):
+            ac.observe(False)
+        assert not ac.triggered
+
+
+def test_recurring_failures_trigger():
+    ac = AlphaCount(decay=0.99, threshold=3.0)
+    for _ in range(4):
+        ac.observe(True)
+        for _ in range(5):
+            ac.observe(False)
+    assert ac.triggered
+
+
+def test_reset():
+    ac = AlphaCount(threshold=1.0)
+    ac.observe(True, 5)
+    assert ac.triggered
+    ac.reset()
+    assert ac.score == 0.0
+    assert ac.first_crossing_at_us is None
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        AlphaCount(decay=1.0)
+    with pytest.raises(ConfigurationError):
+        AlphaCount(decay=-0.1)
+    with pytest.raises(ConfigurationError):
+        AlphaCount(threshold=0.0)
+
+
+def test_bank_tracks_independent_frus():
+    bank = AlphaCountBank(decay=0.9, threshold=2.0)
+    bank.observe("a", True)
+    bank.observe("a", True)
+    bank.observe("b", False)
+    assert bank.triggered() == ["a"]
+    assert bank.scores()["b"] == 0.0
+    bank.reset("a")
+    assert bank.triggered() == []
+    bank.reset("never-seen")  # no-op
+
+
+def test_bank_triggered_sorted_by_score():
+    bank = AlphaCountBank(decay=0.9, threshold=1.0)
+    bank.observe("low", True)
+    for _ in range(3):
+        bank.observe("high", True)
+    assert bank.triggered() == ["high", "low"]
+
+
+def test_bank_validates_params():
+    with pytest.raises(ConfigurationError):
+        AlphaCountBank(decay=2.0)
+
+
+@given(st.lists(st.booleans(), max_size=200))
+def test_property_score_bounded_by_failure_count(observations):
+    ac = AlphaCount(decay=0.9, threshold=1e9)
+    for failed in observations:
+        ac.observe(failed)
+    assert 0.0 <= ac.score <= sum(observations)
+    assert ac.observations == len(observations)
+
+
+@given(st.lists(st.booleans(), min_size=1, max_size=100))
+def test_property_all_failures_gives_exact_count(observations):
+    ac = AlphaCount(decay=0.5, threshold=1e9)
+    for _ in observations:
+        ac.observe(True)
+    assert ac.score == pytest.approx(len(observations))
+
+
+def test_peak_score_and_has_triggered_survive_decay():
+    """A burst that crossed the threshold remains maintenance-relevant
+    even after long quiet stretches decay the live score away."""
+    ac = AlphaCount(decay=0.9, threshold=3.0)
+    for _ in range(4):
+        ac.observe(True, now_us=50)
+    assert ac.triggered and ac.has_triggered
+    for _ in range(200):
+        ac.observe(False)
+    assert not ac.triggered  # live score decayed
+    assert ac.has_triggered  # evidence persists
+    assert ac.peak_score == pytest.approx(4.0)
+    ac.reset()
+    assert not ac.has_triggered
+    assert ac.peak_score == 0.0
+
+
+def test_peak_never_below_score():
+    ac = AlphaCount(decay=0.5, threshold=100.0)
+    for failed in (True, False, True, True, False):
+        ac.observe(failed)
+        assert ac.peak_score >= ac.score

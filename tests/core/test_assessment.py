@@ -1,0 +1,135 @@
+"""Unit tests for the assessment pipeline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.assessment import DiagnosticAssessment
+from repro.core.fault_model import FaultClass, component_fru
+from repro.core.maintenance import MaintenanceAction
+from repro.core.symptoms import SymptomType
+
+from tests.core.factory import TIME_BASE, sym, topology
+
+
+def make_assessment(**kwargs):
+    return DiagnosticAssessment(topology(), TIME_BASE, **kwargs)
+
+
+def test_submit_deduplicates_multi_observer_reports():
+    assessment = make_assessment()
+    duplicates = [
+        sym(point=5, observer=f"comp{i}") for i in (1, 3, 4)
+    ]
+    accepted = assessment.submit(duplicates)
+    assert accepted == 1
+    assert assessment.symptoms_total == 3
+    assert assessment.symptoms_deduplicated == 2
+
+
+def test_epoch_counts_new_symptoms():
+    assessment = make_assessment()
+    assessment.submit([sym(point=1), sym(point=2)])
+    result = assessment.run_epoch(now_us=3_000)
+    assert result.new_symptoms == 2
+    result = assessment.run_epoch(now_us=4_000)
+    assert result.new_symptoms == 0
+
+
+def test_window_pruning_forgets_old_symptoms():
+    assessment = make_assessment(window_points=100)
+    assessment.submit([sym(point=1)])
+    assessment.run_epoch(now_us=2_000)
+    assert len(assessment._window) == 1
+    assessment.run_epoch(now_us=500_000)  # point 500 >> window
+    assert len(assessment._window) == 0
+    # the same key may legitimately reappear much later
+    assert assessment.submit([sym(point=1)]) == 1
+
+
+def test_correlated_epoch_produces_internal_verdict_and_low_trust():
+    assessment = make_assessment()
+    window = [
+        sym(type=SymptomType.OMISSION, subject="comp2", job="A3", point=10),
+        sym(type=SymptomType.OMISSION, subject="comp2", job="C1", point=10),
+        sym(type=SymptomType.OMISSION, subject="comp2", job="S2", point=10),
+    ]
+    assessment.submit(window)
+    result = assessment.run_epoch(now_us=11_000)
+    assert any(
+        t.fault_class is FaultClass.COMPONENT_INTERNAL for t in result.triggers
+    )
+    trust = assessment.trust.values()
+    assert trust["component:comp2"] < 1.0
+    assert trust["component:comp1"] == 1.0
+
+
+def test_external_triggers_do_not_demerit_trust():
+    assessment = make_assessment()
+    burst = [
+        sym(type=SymptomType.CRC_ERROR, subject=s, point=10)
+        for s in ("comp1", "comp2", "comp3")
+    ]
+    assessment.submit(burst)
+    result = assessment.run_epoch(now_us=11_000)
+    assert any(
+        t.fault_class is FaultClass.COMPONENT_EXTERNAL for t in result.triggers
+    )
+    assert all(v == 1.0 for v in assessment.trust.values().values())
+
+
+def test_unexplained_component_failure_demerits_trust():
+    assessment = make_assessment()
+    assessment.submit([sym(type=SymptomType.OMISSION, subject="comp3", point=10)])
+    assessment.run_epoch(now_us=11_000)
+    assert assessment.trust.values()["component:comp3"] < 1.0
+
+
+def test_trust_recovers_over_quiet_epochs():
+    assessment = make_assessment()
+    assessment.submit([sym(type=SymptomType.OMISSION, subject="comp3", point=10)])
+    assessment.run_epoch(now_us=11_000)
+    low = assessment.trust.values()["component:comp3"]
+    for i in range(20):
+        assessment.run_epoch(now_us=20_000 + i * 1_000)
+    assert assessment.trust.values()["component:comp3"] > low
+
+
+def test_health_reports_include_all_components():
+    assessment = make_assessment()
+    reports = assessment.health_reports()
+    names = {r.fru.name for r in reports}
+    assert names == {f"comp{i}" for i in range(1, 6)}
+    assert all(r.verdict is None for r in reports)
+
+
+def test_health_report_with_recommendation():
+    assessment = make_assessment()
+    assessment.submit(
+        [
+            sym(type=SymptomType.VALUE_VIOLATION, subject="comp3", job="A2", point=p)
+            for p in (1, 2, 3)
+        ]
+    )
+    assessment.run_epoch(now_us=10_000)
+    reports = {r.fru.name: r for r in assessment.health_reports()}
+    job_report = reports["A2"]
+    assert job_report.verdict.fault_class is FaultClass.JOB_INHERENT_SOFTWARE
+    assert job_report.recommendation.action is MaintenanceAction.FORWARD_TO_OEM
+    # with an update released, the action flips
+    reports2 = {
+        r.fru.name: r
+        for r in assessment.health_reports(
+            software_updates_available=frozenset({"A2"})
+        )
+    }
+    assert (
+        reports2["A2"].recommendation.action is MaintenanceAction.UPDATE_SOFTWARE
+    )
+
+
+def test_epochs_run_counter():
+    assessment = make_assessment()
+    assessment.run_epoch(1_000)
+    assessment.run_epoch(2_000)
+    assert assessment.epochs_run == 2

@@ -1,0 +1,111 @@
+"""Unit tests for condition-based maintenance."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.cbm import (
+    CbmRecommendation,
+    ConditionMonitor,
+    episodes_from_trace,
+)
+from repro.errors import AnalysisError
+from repro.faults.injector import FaultInjector
+from repro.presets import small_cluster
+from repro.units import ms, seconds
+
+
+def accelerating_times(n=20, start_gap=2.0, factor=0.82):
+    """Episode times with geometrically shrinking gaps (wearout)."""
+    t, gap, out = 0.0, start_gap, []
+    for _ in range(n):
+        t += gap
+        gap *= factor
+        out.append(int(t * 1e6))
+    return out
+
+
+def uniform_times(n=20, gap=1.0):
+    return [int((i + 1) * gap * 1e6) for i in range(n)]
+
+
+def test_insufficient_evidence_continues():
+    monitor = ConditionMonitor(min_episodes=6)
+    a = monitor.assess("c1", [1_000_000, 2_000_000], seconds(10))
+    assert a.recommendation is CbmRecommendation.CONTINUE
+    assert a.remaining_useful_life_s is None
+
+
+def test_uniform_rate_continues():
+    monitor = ConditionMonitor()
+    a = monitor.assess("c1", uniform_times(), seconds(30))
+    assert a.rate_trend < 1.5
+    assert a.recommendation in (
+        CbmRecommendation.CONTINUE,
+        CbmRecommendation.MONITOR,
+    )
+
+
+def test_accelerating_rate_plans_replacement():
+    monitor = ConditionMonitor(rate_limit_per_s=50.0)
+    times = accelerating_times()
+    a = monitor.assess("c1", times, times[-1] + seconds(1))
+    assert a.rate_trend >= 2.0
+    assert a.recommendation is CbmRecommendation.PLAN_REPLACEMENT
+    assert a.remaining_useful_life_s is not None
+    assert a.remaining_useful_life_s > 0
+    assert a.predicted_rate_per_s > a.current_rate_per_s
+
+
+def test_end_of_life_replaces_now():
+    monitor = ConditionMonitor(rate_limit_per_s=0.5)
+    times = accelerating_times()
+    a = monitor.assess("c1", times, times[-1] + seconds(1))
+    assert a.current_rate_per_s >= 0.5
+    assert a.recommendation is CbmRecommendation.REPLACE_NOW
+    assert a.remaining_useful_life_s == 0.0
+
+
+def test_parameter_validation():
+    with pytest.raises(AnalysisError):
+        ConditionMonitor(rate_limit_per_s=0.0)
+    with pytest.raises(AnalysisError):
+        ConditionMonitor(trend_threshold=1.0)
+    with pytest.raises(AnalysisError):
+        ConditionMonitor(min_episodes=1)
+
+
+def test_episodes_from_trace_merges_outage_slots():
+    cluster = small_cluster(4, seed=71)
+    injector = FaultInjector(cluster)
+    injector.inject_transient_internal("c1", ms(100), duration_us=ms(30))
+    injector.inject_transient_internal("c1", ms(500), duration_us=ms(30))
+    cluster.run(seconds(1))
+    episodes = episodes_from_trace(cluster, "c1")
+    assert len(episodes) == 2
+    assert episodes_from_trace(cluster, "c2") == []
+
+
+def test_cbm_end_to_end_on_wearout():
+    cluster = small_cluster(4, seed=72)
+    injector = FaultInjector(cluster)
+    injector.inject_wearout(
+        "c1",
+        onset_us=ms(200),
+        full_us=seconds(9),
+        horizon_us=seconds(10),
+        base_fit=8e11,
+        multiplier=30,
+        duration_us=ms(8),
+    )
+    cluster.run(seconds(10))
+    episodes = episodes_from_trace(cluster, "c1")
+    monitor = ConditionMonitor(rate_limit_per_s=50.0, min_episodes=5)
+    assessment = monitor.assess("c1", episodes, cluster.now)
+    assert assessment.episode_count >= 5
+    assert assessment.recommendation in (
+        CbmRecommendation.PLAN_REPLACEMENT,
+        CbmRecommendation.MONITOR,
+        CbmRecommendation.REPLACE_NOW,
+    )

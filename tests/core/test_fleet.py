@@ -1,0 +1,88 @@
+"""Unit tests for fleet analysis (20-80 rule)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.fleet import (
+    analyse_fleet,
+    identification_quality,
+    pareto_rates,
+    synthesize_fleet,
+)
+from repro.errors import AnalysisError
+
+
+def test_pareto_rates_shape():
+    rates, hot = pareto_rates(20, total_rate=1.0)
+    assert rates.shape == (20,)
+    assert hot.sum() == 4  # 20% of 20
+    assert rates.sum() == pytest.approx(1.0)
+    assert rates[hot].sum() == pytest.approx(0.8)
+
+
+def test_pareto_rates_validation():
+    with pytest.raises(AnalysisError):
+        pareto_rates(1, 1.0)
+    with pytest.raises(AnalysisError):
+        pareto_rates(10, 1.0, hot_fraction=0.0)
+    with pytest.raises(AnalysisError):
+        pareto_rates(10, 1.0, hot_share=1.0)
+
+
+def test_synthesize_fleet_structure():
+    rng = np.random.default_rng(0)
+    report = synthesize_fleet(rng, n_vehicles=500, n_job_types=10)
+    assert report.counts.shape == (500, 10)
+    assert report.n_vehicles == 500
+    assert len(report.hot_types) == 2
+    with pytest.raises(AnalysisError):
+        synthesize_fleet(rng, 0)
+
+
+def test_large_fleet_recovers_hot_modules():
+    rng = np.random.default_rng(1)
+    report = synthesize_fleet(
+        rng, n_vehicles=20_000, n_job_types=20, mean_failures_per_vehicle=1.0
+    )
+    analysis = analyse_fleet(report)
+    quality = identification_quality(report, analysis)
+    assert quality["recall"] >= 0.75
+    assert quality["precision"] >= 0.5
+    # the identified minority of modules covers the majority of failures
+    assert analysis.hot_module_fraction <= 0.4
+    assert analysis.hot_failure_share >= 0.8
+
+
+def test_small_fleet_identification_degrades():
+    """Averaged over seeds, a large fleet identifies the hot modules at
+    least as well as a tiny one (the paper's 'representative population'
+    requirement)."""
+    f1_big, f1_small = [], []
+    for seed in range(8):
+        rng = np.random.default_rng(seed)
+        big = synthesize_fleet(rng, 10_000, 20, 1.0)
+        small = synthesize_fleet(rng, 15, 20, 1.0)
+        f1_big.append(identification_quality(big, analyse_fleet(big))["f1"])
+        f1_small.append(
+            identification_quality(small, analyse_fleet(small))["f1"]
+        )
+    assert np.mean(f1_big) >= np.mean(f1_small)
+
+
+def test_analysis_cumulative_monotone():
+    rng = np.random.default_rng(3)
+    report = synthesize_fleet(rng, 1000, 15, 1.0)
+    analysis = analyse_fleet(report)
+    assert np.all(np.diff(analysis.cumulative) >= -1e-12)
+    assert analysis.cumulative[-1] == pytest.approx(1.0)
+    assert len(analysis.job_types) == 15
+
+
+def test_empty_fleet_rejected():
+    rng = np.random.default_rng(4)
+    report = synthesize_fleet(rng, 5, 10, mean_failures_per_vehicle=1e-9)
+    if report.totals().sum() == 0:
+        with pytest.raises(AnalysisError):
+            analyse_fleet(report)

@@ -1,0 +1,51 @@
+"""Unit tests for symptoms."""
+
+from __future__ import annotations
+
+from repro.core.symptoms import Symptom, SymptomType
+
+
+def sym(**kwargs):
+    base = dict(
+        type=SymptomType.OMISSION,
+        observer="c1",
+        subject_component="c0",
+        time_us=1000,
+        lattice_point=1,
+    )
+    base.update(kwargs)
+    return Symptom(**base)
+
+
+def test_every_type_has_a_domain():
+    for st_ in SymptomType:
+        assert st_.domain in ("time", "value", "time+value")
+
+
+def test_domain_assignments():
+    assert SymptomType.OMISSION.domain == "time"
+    assert SymptomType.TIMING_VIOLATION.domain == "time"
+    assert SymptomType.CRC_ERROR.domain == "value"
+    assert SymptomType.VALUE_VIOLATION.domain == "value"
+    assert SymptomType.SENSOR_IMPLAUSIBLE.domain == "value"
+    assert SymptomType.QUEUE_OVERFLOW.domain == "time+value"
+
+
+def test_dedup_key_merges_observers():
+    a = sym(observer="c1")
+    b = sym(observer="c2")
+    assert a.key() == b.key()
+
+
+def test_dedup_key_separates_subjects_and_points():
+    assert sym(subject_component="cX").key() != sym().key()
+    assert sym(lattice_point=2).key() != sym().key()
+    assert sym(subject_job="j").key() != sym().key()
+
+
+def test_channel_omission_key_keeps_observer():
+    a = sym(type=SymptomType.CHANNEL_OMISSION, channel=0, observer="c1")
+    b = sym(type=SymptomType.CHANNEL_OMISSION, channel=0, observer="c2")
+    assert a.key() != b.key()
+    c = sym(type=SymptomType.CHANNEL_OMISSION, channel=1, observer="c1")
+    assert a.key() != c.key()

@@ -1,0 +1,83 @@
+"""Unit tests for trust levels (Fig. 9)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.trust import TrustBank, TrustLevel
+from repro.errors import ConfigurationError
+
+
+def test_starts_fully_trusted():
+    lvl = TrustLevel()
+    assert lvl.value == 1.0
+    assert not lvl.suspicious
+
+
+def test_evidence_lowers_trust_monotonically():
+    lvl = TrustLevel(demerit=0.5)
+    v1 = lvl.update(1.0, 10)
+    v2 = lvl.update(1.0, 20)
+    assert v1 == pytest.approx(0.5)
+    assert v2 == pytest.approx(0.25)
+    assert lvl.suspicious
+
+
+def test_heavier_evidence_hits_harder():
+    a, b = TrustLevel(), TrustLevel()
+    a.update(1.0, 0)
+    b.update(3.0, 0)
+    assert b.value < a.value
+
+
+def test_conforming_epochs_recover_slowly():
+    lvl = TrustLevel(demerit=0.5, recovery=0.1)
+    lvl.update(2.0, 0)
+    low = lvl.value
+    for t in range(1, 30):
+        lvl.update(0.0, t)
+    assert low < lvl.value < 1.0
+
+
+def test_floor_holds():
+    lvl = TrustLevel(demerit=0.1, floor=0.05)
+    for t in range(10):
+        lvl.update(5.0, t)
+    assert lvl.value == pytest.approx(0.05)
+
+
+def test_trajectory_recorded():
+    lvl = TrustLevel()
+    lvl.update(1.0, 100)
+    lvl.update(0.0, 200)
+    assert [t for t, _ in lvl.trajectory] == [100, 200]
+    assert lvl.epochs == 2
+
+
+def test_reset():
+    lvl = TrustLevel()
+    lvl.update(5.0, 0)
+    lvl.reset()
+    assert lvl.value == 1.0
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        TrustLevel(demerit=1.0)
+    with pytest.raises(ConfigurationError):
+        TrustLevel(recovery=1.0)
+    with pytest.raises(ConfigurationError):
+        TrustLevel(floor=0.0)
+    lvl = TrustLevel()
+    with pytest.raises(ConfigurationError):
+        lvl.update(-1.0, 0)
+
+
+def test_bank_suspicious_ordering():
+    bank = TrustBank(demerit=0.5)
+    bank.update("bad", 3.0, 0)
+    bank.update("worse", 6.0, 0)
+    bank.update("good", 0.0, 0)
+    assert bank.suspicious() == ["worse", "bad"]
+    assert bank.values()["good"] == 1.0
+    assert bank.trajectory("bad")

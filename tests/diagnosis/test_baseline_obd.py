@@ -1,0 +1,83 @@
+"""Unit tests for the federated OBD baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.maintenance import MaintenanceAction
+from repro.diagnosis.baseline_obd import ObdBaseline
+from repro.faults.injector import FaultInjector
+from repro.presets import small_cluster
+from repro.units import ms, seconds
+
+
+def test_healthy_run_records_nothing():
+    cluster = small_cluster(4, seed=60)
+    obd = ObdBaseline(cluster)
+    cluster.run(ms(300))
+    assert obd.dtcs == []
+    assert obd.recommendations() == []
+
+
+def test_persistent_failure_records_dtc():
+    cluster = small_cluster(4, seed=61)
+    obd = ObdBaseline(cluster)
+    FaultInjector(cluster).inject_permanent_internal("c1", ms(10))
+    cluster.run(seconds(1))
+    assert obd.components_with_dtc() == ["c1"]
+    dtc = obd.dtcs[0]
+    assert dtc.kind == "communication"
+    assert dtc.persisted_us >= obd.record_threshold_us
+
+
+def test_short_transient_invisible_to_obd():
+    """The paper's point: OBD only records failures persisting > 500 ms."""
+    cluster = small_cluster(4, seed=62)
+    obd = ObdBaseline(cluster)
+    FaultInjector(cluster).inject_transient_internal(
+        "c1", ms(100), duration_us=ms(40)
+    )
+    cluster.run(seconds(1))
+    assert obd.dtcs == []
+
+
+def test_long_transient_visible_to_obd():
+    cluster = small_cluster(4, seed=63)
+    obd = ObdBaseline(cluster)
+    FaultInjector(cluster).inject_transient_internal(
+        "c1", ms(100), duration_us=ms(700)
+    )
+    cluster.run(seconds(1))
+    assert obd.components_with_dtc() == ["c1"]
+
+
+def test_one_dtc_per_episode():
+    cluster = small_cluster(4, seed=64)
+    obd = ObdBaseline(cluster)
+    injector = FaultInjector(cluster)
+    injector.inject_transient_internal("c1", ms(100), duration_us=ms(600))
+    injector.inject_transient_internal("c1", seconds(1), duration_us=ms(600))
+    cluster.run(seconds(2))
+    assert len(obd.dtcs) == 2
+
+
+def test_value_fault_records_dtc_against_component():
+    cluster = small_cluster(4, seed=65)
+    obd = ObdBaseline(cluster)
+    FaultInjector(cluster).inject_software_bohrbug("p0", ms(10))
+    cluster.run(ms(300))
+    assert obd.components_with_dtc() == ["c0"]
+    assert obd.dtcs[0].kind == "value"
+    # one DTC only, not one per frame
+    assert len(obd.dtcs) == 1
+
+
+def test_recommendation_is_always_replacement():
+    cluster = small_cluster(4, seed=66)
+    obd = ObdBaseline(cluster)
+    FaultInjector(cluster).inject_permanent_internal("c1", ms(10))
+    cluster.run(seconds(1))
+    recs = obd.recommendations()
+    assert len(recs) == 1
+    assert recs[0].action is MaintenanceAction.REPLACE_COMPONENT
+    assert recs[0].removes_fru

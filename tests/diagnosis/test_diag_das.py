@@ -1,0 +1,84 @@
+"""Tests for the DiagnosticService facade."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.fault_model import FaultClass
+from repro.diagnosis.diag_das import DiagnosticService, build_topology
+from repro.errors import ConfigurationError
+from repro.faults.injector import FaultInjector
+from repro.presets import figure10_cluster, small_cluster
+from repro.units import ms, seconds
+
+
+def test_build_topology_facts():
+    parts = figure10_cluster(seed=61)
+    topology = build_topology(parts.cluster)
+    assert topology.component_of_job["A3"] == "comp2"
+    assert topology.das_of_job["S2"] == "S"
+    assert topology.channels == 2
+    assert set(topology.positions) == set(parts.cluster.components)
+    assert sorted(topology.jobs_on("comp2")) == ["A3", "C1", "C2", "S2"]
+    assert topology.distance("comp1", "comp3") == pytest.approx(2.0)
+
+
+def test_validation():
+    cluster = small_cluster(3, seed=62)
+    with pytest.raises(ConfigurationError):
+        DiagnosticService(cluster, transport="carrier-pigeon")
+    with pytest.raises(ConfigurationError):
+        DiagnosticService(cluster, epoch_rounds=0)
+    with pytest.raises(ConfigurationError):
+        DiagnosticService(cluster, collector="ghost")
+
+
+def test_default_collector_is_first_participant():
+    cluster = small_cluster(3, seed=63)
+    service = DiagnosticService(cluster)
+    assert service.collector == "c0"
+
+
+def test_direct_transport_equivalent_verdict():
+    """The oracle transport and the realistic VN transport reach the same
+    attribution for a persistent fault (the VN only adds bounded latency)."""
+    outcomes = {}
+    for transport in ("vn", "direct"):
+        parts = figure10_cluster(seed=64)
+        service = DiagnosticService(
+            parts.cluster, collector="comp5", transport=transport
+        )
+        FaultInjector(parts.cluster).inject_permanent_internal("comp2", ms(200))
+        parts.cluster.run(seconds(2))
+        outcomes[transport] = {
+            (str(v.fru), v.fault_class) for v in service.verdicts()
+        }
+    assert ("component:comp2", FaultClass.COMPONENT_INTERNAL) in outcomes["vn"]
+    assert outcomes["vn"] == outcomes["direct"]
+
+
+def test_direct_transport_has_no_network():
+    cluster = small_cluster(3, seed=65)
+    service = DiagnosticService(cluster, transport="direct")
+    assert service.network is None
+    FaultInjector(cluster).inject_permanent_internal("c1", ms(10))
+    cluster.run(ms(200))
+    assert service.assessment.symptoms_total > 0
+
+
+def test_epoch_results_accumulate():
+    cluster = small_cluster(3, seed=66)
+    service = DiagnosticService(cluster, epoch_rounds=2)
+    cluster.run_rounds(10)
+    assert len(service.epoch_results) == 5
+
+
+def test_trigger_trace_records():
+    parts = figure10_cluster(seed=67)
+    cluster = parts.cluster
+    DiagnosticService(cluster, collector="comp5")
+    FaultInjector(cluster).inject_connector_fault(
+        "comp3", 0, omission_prob=1.0, at_us=ms(100)
+    )
+    cluster.run(seconds(1))
+    assert cluster.trace.count("diagnosis.triggers") > 0

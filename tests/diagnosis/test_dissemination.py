@@ -1,0 +1,107 @@
+"""Unit tests for the virtual diagnostic network."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.symptoms import Symptom, SymptomType
+from repro.diagnosis.dissemination import DIAGNOSTIC_VN, DiagnosticNetwork
+from repro.errors import ConfigurationError
+from repro.faults.injector import FaultInjector
+from repro.presets import small_cluster
+from repro.units import ms
+
+
+def make_symptom(point=0, subject="c1"):
+    return Symptom(
+        type=SymptomType.OMISSION,
+        observer="c2",
+        subject_component=subject,
+        time_us=point * 1000,
+        lattice_point=point,
+    )
+
+
+def test_validation():
+    cluster = small_cluster(4, seed=50)
+    with pytest.raises(ConfigurationError):
+        DiagnosticNetwork(cluster, collectors=())
+    with pytest.raises(ConfigurationError):
+        DiagnosticNetwork(cluster, collectors=("ghost",))
+    with pytest.raises(ConfigurationError):
+        DiagnosticNetwork(cluster, collectors=("c0",), slot_budget=0)
+
+
+def test_collector_local_symptoms_bypass_network():
+    cluster = small_cluster(4, seed=51)
+    net = DiagnosticNetwork(cluster, collectors=("c0",))
+    received = []
+    net.add_consumer(lambda collector, s: received.append((collector, s)))
+    net.deposit("c0", make_symptom())
+    assert len(received) == 1
+    assert net.transmitted == 0
+
+
+def test_remote_symptom_arrives_within_a_round():
+    cluster = small_cluster(4, seed=52)
+    net = DiagnosticNetwork(cluster, collectors=("c0",))
+    arrivals = []
+    net.add_consumer(lambda collector, s: arrivals.append(cluster.now))
+    cluster.run(ms(5))
+    deposit_time = cluster.now
+    net.deposit("c2", make_symptom())
+    cluster.run(ms(10))
+    assert len(arrivals) == 1
+    assert net.transmitted == 1
+    # latency bounded by one TDMA round (c2's next slot occurrence)
+    assert arrivals[0] - deposit_time <= cluster.schedule.round_length_us + 1
+
+
+def test_slot_budget_queues_excess():
+    cluster = small_cluster(4, seed=53)
+    net = DiagnosticNetwork(cluster, collectors=("c0",), slot_budget=2)
+    received = []
+    net.add_consumer(lambda collector, s: received.append(s))
+    for i in range(5):
+        net.deposit("c1", make_symptom(point=i))
+    cluster.run_rounds(1)
+    assert len(received) == 2
+    cluster.run_rounds(2)
+    assert len(received) == 5
+
+
+def test_outbox_overflow_drops_oldest():
+    cluster = small_cluster(4, seed=54)
+    net = DiagnosticNetwork(cluster, collectors=("c0",), max_outbox=3)
+    for i in range(5):
+        net.deposit("c1", make_symptom(point=i))
+    assert net.dropped_outbox == 2
+    assert net.backlog()["c1"] == 3
+
+
+def test_dead_reporter_loses_its_outbox():
+    cluster = small_cluster(4, seed=55)
+    net = DiagnosticNetwork(cluster, collectors=("c0",))
+    received = []
+    net.add_consumer(lambda collector, s: received.append(s))
+    FaultInjector(cluster).inject_permanent_internal("c2", 0)
+    cluster.run(ms(2))
+    net.deposit("c2", make_symptom())
+    cluster.run(ms(50))
+    # c2 is silent: its queued symptom never reaches the collector
+    assert received == []
+    assert net.backlog()["c2"] == 1
+
+
+def test_payload_carried_under_diagnostic_vn_key():
+    cluster = small_cluster(4, seed=56)
+    net = DiagnosticNetwork(cluster, collectors=("c0",))
+    seen_payloads = []
+    cluster.payload_consumers.append(
+        lambda receiver, frame, now: seen_payloads.append(
+            frame.payload.get(DIAGNOSTIC_VN)
+        )
+    )
+    net.deposit("c1", make_symptom())
+    cluster.run_rounds(2)
+    assert any(p for p in seen_payloads if p)

@@ -1,0 +1,61 @@
+"""Unit tests for environmental stress profiles."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults.environment import BENIGN, HIGHWAY, ROUGH_ROAD, StressProfile
+from repro.units import seconds
+
+
+def test_benign_profile_is_flat_baseline():
+    t = np.linspace(0, 1e7, 10)
+    assert np.allclose(BENIGN.at(t), 1.0)
+
+
+def test_vibration_adds_constant_stress():
+    profile = StressProfile(vibration=2.0)
+    assert float(profile.at(0)) == pytest.approx(3.0)
+
+
+def test_thermal_cycle_oscillates():
+    profile = StressProfile(
+        thermal_cycle_amplitude=2.0, thermal_cycle_period_us=seconds(10)
+    )
+    at_start = float(profile.at(0))
+    at_half = float(profile.at(seconds(5)))
+    assert at_start == pytest.approx(1.0)
+    assert at_half == pytest.approx(3.0)
+
+
+def test_shock_window():
+    profile = StressProfile(
+        shock_times_us=(seconds(1),), shock_magnitude=5.0, shock_window_us=seconds(1)
+    )
+    assert float(profile.at(seconds(0.5))) == pytest.approx(1.0)
+    assert float(profile.at(seconds(1.5))) == pytest.approx(6.0)
+    assert float(profile.at(seconds(2.5))) == pytest.approx(1.0)
+
+
+def test_mean_over():
+    profile = StressProfile(vibration=1.0)
+    assert profile.mean_over(0, seconds(1)) == pytest.approx(2.0)
+    with pytest.raises(ConfigurationError):
+        profile.mean_over(10, 10)
+
+
+def test_presets_ordered_by_harshness():
+    t = np.linspace(0, seconds(100), 50)
+    assert HIGHWAY.at(t).mean() > BENIGN.at(t).mean()
+    assert ROUGH_ROAD.at(t).mean() > HIGHWAY.at(t).mean()
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        StressProfile(baseline=0.0)
+    with pytest.raises(ConfigurationError):
+        StressProfile(vibration=-1.0)
+    with pytest.raises(ConfigurationError):
+        StressProfile(thermal_cycle_period_us=0)

@@ -1,0 +1,67 @@
+"""Unit tests for wearout damage accumulation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults.wearout import DamageAccumulator, wearout_fit_profile
+
+
+def test_accumulation_is_linear_in_hours_and_stress():
+    acc = DamageAccumulator(endurance=1.0, base_stress=0.01)
+    acc.accumulate(10.0)
+    assert acc.normalised_damage == pytest.approx(0.1)
+    acc.accumulate(10.0, stress_multiplier=2.0)
+    assert acc.normalised_damage == pytest.approx(0.3)
+    assert not acc.worn_out
+
+
+def test_worn_out_at_endurance():
+    acc = DamageAccumulator(endurance=1.0, base_stress=0.1)
+    acc.accumulate(10.0)
+    assert acc.worn_out
+
+
+def test_rate_multiplier_grows_convexly():
+    acc = DamageAccumulator(endurance=1.0, base_stress=1.0)
+    assert acc.rate_multiplier() == pytest.approx(1.0)
+    acc.accumulate(0.5)
+    half = acc.rate_multiplier()
+    acc.accumulate(0.5)
+    full = acc.rate_multiplier()
+    assert 1.0 < half < full
+    assert full == pytest.approx(10.0)
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        DamageAccumulator(endurance=0.0)
+    acc = DamageAccumulator()
+    with pytest.raises(ConfigurationError):
+        acc.accumulate(-1.0)
+    with pytest.raises(ConfigurationError):
+        acc.accumulate(1.0, stress_multiplier=-1.0)
+    with pytest.raises(ConfigurationError):
+        acc.rate_multiplier(exponent=0.0)
+
+
+def test_fit_profile_shape():
+    profile = wearout_fit_profile(100.0, onset_us=1000, full_us=2000, multiplier=10.0)
+    t = np.array([0, 500, 1000, 1500, 2000, 3000])
+    rates = profile(t)
+    assert rates[0] == rates[1] == rates[2] == pytest.approx(100.0)
+    assert rates[3] == pytest.approx(100.0 * (1 + 9 * 0.25))
+    assert rates[4] == rates[5] == pytest.approx(1000.0)
+    # monotone non-decreasing
+    assert np.all(np.diff(rates) >= -1e-12)
+
+
+def test_fit_profile_validation():
+    with pytest.raises(ConfigurationError):
+        wearout_fit_profile(0.0, 0, 1)
+    with pytest.raises(ConfigurationError):
+        wearout_fit_profile(1.0, 10, 10)
+    with pytest.raises(ConfigurationError):
+        wearout_fit_profile(1.0, 0, 10, multiplier=0.5)

@@ -1,0 +1,72 @@
+"""Avionics (IMA) cluster integration tests."""
+
+from __future__ import annotations
+
+from repro.core.fault_model import FaultClass
+from repro.diagnosis.diag_das import DiagnosticService
+from repro.faults.injector import FaultInjector
+from repro.presets import avionics_cluster
+from repro.units import ms, seconds
+
+
+def make(seed=51):
+    parts = avionics_cluster(seed=seed)
+    service = DiagnosticService(parts.cluster, collector="lrm8")
+    service.add_tmr_monitor(parts.elevator_monitor)
+    service.add_tmr_monitor(parts.rudder_monitor)
+    return parts, service
+
+
+def test_healthy_avionics_cluster_is_clean():
+    parts, service = make()
+    parts.cluster.run(seconds(1))
+    assert service.verdicts() == []
+    assert parts.cluster.trace.kinds() == {}
+    assert parts.elevator_monitor.voter.no_majority == 0
+
+
+def test_lrm_failure_hits_both_tmr_triples_and_is_attributed():
+    """lrm2 hosts elev2 and rud1: its failure deviates one replica of each
+    triple — both voters mask, the diagnosis blames the shared LRM."""
+    parts, service = make(seed=52)
+    FaultInjector(parts.cluster).inject_permanent_internal("lrm2", ms(200))
+    parts.cluster.run(seconds(2))
+    verdicts = {str(v.fru): v for v in service.verdicts()}
+    assert (
+        verdicts["component:lrm2"].fault_class is FaultClass.COMPONENT_INTERNAL
+    )
+    assert parts.elevator_monitor.voter.suspected_replica() == "elev2"
+    assert parts.rudder_monitor.voter.suspected_replica() == "rud1"
+    # masking held on both surfaces
+    assert parts.elevator_monitor.voter.no_majority == 0
+    assert parts.rudder_monitor.voter.no_majority == 0
+
+
+def test_single_replica_bug_stays_in_its_das():
+    parts, service = make(seed=53)
+    FaultInjector(parts.cluster).inject_job_crash("rud2", ms(200))
+    parts.cluster.run(seconds(2))
+    verdicts = {str(v.fru): v for v in service.verdicts()}
+    assert "job:rud2" in verdicts
+    assert not any(k.startswith("component:") for k in verdicts)
+    # the elevator triple never saw a deviation
+    assert parts.elevator_monitor.voter.deviation_counts == {}
+
+
+def test_airdata_sensor_fault_attributed_to_transducer_job():
+    parts, service = make(seed=54)
+    cluster = parts.cluster
+    from repro.diagnosis.detector import sensor_stuck_check
+
+    cluster.job("airdata").internal_checks.append(
+        sensor_stuck_check("airspeed", min_change=1e-6, window_polls=16)
+    )
+    FaultInjector(cluster).inject_sensor_fault(
+        "airdata", ms(300), mode="stuck", stuck_value=230.0
+    )
+    cluster.run(seconds(2))
+    verdicts = {str(v.fru): v for v in service.verdicts()}
+    assert (
+        verdicts["job:airdata"].fault_class
+        is FaultClass.JOB_INHERENT_TRANSDUCER
+    )

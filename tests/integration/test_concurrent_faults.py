@@ -1,0 +1,99 @@
+"""Concurrent-fault scenarios: the diagnosis separates superimposed faults.
+
+Real vehicles rarely present one fault at a time; these tests superimpose
+faults of different classes and check that each gets its own correct
+attribution — the error-containment and correlation machinery must not
+smear evidence across FRUs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.fault_model import FaultClass
+from repro.diagnosis.diag_das import DiagnosticService
+from repro.faults.injector import FaultInjector
+from repro.presets import figure10_cluster
+from repro.units import ms, seconds
+
+
+def run(inject, duration=seconds(3), seed=19):
+    parts = figure10_cluster(seed=seed)
+    cluster = parts.cluster
+    service = DiagnosticService(cluster, collector="comp5")
+    service.add_tmr_monitor(parts.tmr_monitor)
+    injector = FaultInjector(cluster)
+    inject(injector)
+    cluster.run(duration)
+    return {str(v.fru): v for v in service.verdicts()}
+
+
+def test_hardware_plus_software_fault():
+    verdicts = run(
+        lambda inj: (
+            inj.inject_permanent_internal("comp2", ms(200)),
+            inj.inject_software_bohrbug("A2", ms(300)),
+        )
+    )
+    assert verdicts["component:comp2"].fault_class is FaultClass.COMPONENT_INTERNAL
+    assert verdicts["job:A2"].fault_class is FaultClass.JOB_INHERENT_SOFTWARE
+
+
+def test_connector_plus_sensor_fault():
+    verdicts = run(
+        lambda inj: (
+            inj.inject_connector_fault("comp3", 0, omission_prob=0.9, at_us=ms(200)),
+            inj.inject_sensor_fault("C1", ms(300), mode="stuck", stuck_value=25.0),
+        )
+    )
+    assert (
+        verdicts["component:comp3"].fault_class
+        is FaultClass.COMPONENT_BORDERLINE
+    )
+    assert (
+        verdicts["job:C1"].fault_class is FaultClass.JOB_INHERENT_TRANSDUCER
+    )
+
+
+def test_emi_burst_during_connector_fault():
+    """An external burst must not launder the persistent connector fault
+    into an external attribution, nor vice versa."""
+    verdicts = run(
+        lambda inj: (
+            inj.inject_connector_fault("comp3", 0, omission_prob=0.9, at_us=ms(100)),
+            inj.inject_emi_burst(seconds(1), center=(0.5, 0.0), radius=1.0),
+        )
+    )
+    assert (
+        verdicts["component:comp3"].fault_class
+        is FaultClass.COMPONENT_BORDERLINE
+    )
+    externals = [
+        fru
+        for fru, v in verdicts.items()
+        if v.fault_class is FaultClass.COMPONENT_EXTERNAL
+    ]
+    assert externals, "the EMI burst should yield external attributions"
+    assert "component:comp3" not in externals
+
+
+def test_two_simultaneous_software_faults():
+    verdicts = run(
+        lambda inj: (
+            inj.inject_software_bohrbug("A2", ms(200)),
+            inj.inject_software_bohrbug("B1", ms(250)),
+        )
+    )
+    assert verdicts["job:A2"].fault_class is FaultClass.JOB_INHERENT_SOFTWARE
+    assert verdicts["job:B1"].fault_class is FaultClass.JOB_INHERENT_SOFTWARE
+
+
+def test_config_fault_plus_component_failure():
+    verdicts = run(
+        lambda inj: (
+            inj.inject_queue_config_fault("A3", "in", capacity=1, at_us=ms(100)),
+            inj.inject_permanent_internal("comp1", ms(500)),
+        )
+    )
+    assert verdicts["component:comp1"].fault_class is FaultClass.COMPONENT_INTERNAL
+    assert verdicts["job:A3"].fault_class is FaultClass.JOB_BORDERLINE

@@ -1,0 +1,43 @@
+"""Hidden-gateway integration: cross-DAS data flow without duplication."""
+
+from __future__ import annotations
+
+from repro.diagnosis.diag_das import DiagnosticService
+from repro.faults.injector import FaultInjector
+from repro.presets import gateway_cluster
+from repro.units import ms, seconds
+
+
+def test_gateway_forwards_wheel_speed_to_dashboard():
+    cluster = gateway_cluster(seed=41)
+    cluster.run(ms(400))
+    dashboard = cluster.job("dashboard")
+    msg = dashboard.port("speed").read_state()
+    assert msg is not None
+    assert msg.source_job == "gw-chassis-telematics"
+    assert 14.0 <= float(msg.value) <= 26.0  # the chassis wheel speed
+    # the ABS consumer in the producing DAS gets the same physical value
+    abs_msg = cluster.job("abs-ctrl").port("speed_in").read_state()
+    assert abs_msg is not None
+    assert abs_msg.source_job == "wheel-sensor"
+
+
+def test_gateway_cluster_runs_clean():
+    cluster = gateway_cluster(seed=42)
+    service = DiagnosticService(cluster, collector="ecu-dashboard")
+    cluster.run(seconds(1))
+    assert service.verdicts() == []
+    assert cluster.trace.kinds() == {}
+
+
+def test_gateway_host_failure_diagnosed_and_flow_stops():
+    cluster = gateway_cluster(seed=43)
+    service = DiagnosticService(cluster, collector="ecu-dashboard")
+    FaultInjector(cluster).inject_permanent_internal("ecu-gateway", ms(300))
+    cluster.run(seconds(2))
+    verdicts = {str(v.fru): v for v in service.verdicts()}
+    assert "component:ecu-gateway" in verdicts
+    # the dashboard stops receiving fresh values once the gateway is dead
+    dashboard = cluster.job("dashboard")
+    msg = dashboard.port("speed").read_state()
+    assert msg is None or msg.send_time_us < ms(400)

@@ -1,0 +1,88 @@
+"""Integrated diagnosis vs federated OBD: the no-fault-found comparison.
+
+The economic motivation of the paper (§I): OBD-driven replacement of units
+affected by external/transient disturbances produces NFF removals; the
+maintenance-oriented classification avoids them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.metrics import evaluate_recommendations, score_campaign
+from repro.core.maintenance import MaintenanceAction
+from repro.diagnosis.baseline_obd import ObdBaseline
+from repro.diagnosis.diag_das import DiagnosticService
+from repro.faults.injector import FaultInjector
+from repro.presets import figure10_cluster
+from repro.core.maintenance import determine_action
+from repro.units import ms, seconds
+
+
+def run_mixed_campaign(seed=5):
+    parts = figure10_cluster(seed=seed)
+    cluster = parts.cluster
+    service = DiagnosticService(cluster, collector="comp5")
+    obd = ObdBaseline(cluster)
+    injector = FaultInjector(cluster)
+    # one genuinely internal fault...
+    injector.inject_permanent_internal("comp1", ms(300))
+    # ...plus external disturbances that *look* like failures to OBD
+    injector.inject_emi_burst(
+        seconds(1), center=(2.5, 0.0), radius=1.0, duration_us=ms(600)
+    )
+    cluster.run(seconds(3))
+    return parts, service, obd, injector
+
+
+def test_integrated_diagnosis_avoids_nff_removals():
+    parts, service, obd, injector = run_mixed_campaign()
+    truth = injector.injected
+
+    integrated_recs = [
+        determine_action(v) for v in service.verdicts()
+    ]
+    obd_recs = obd.recommendations()
+
+    integrated_cost = evaluate_recommendations(integrated_recs, truth)
+    obd_cost = evaluate_recommendations(obd_recs, truth)
+
+    # OBD replaces the EMI-disturbed components too -> NFF removals.
+    assert obd_cost.nff_removals > 0
+    assert integrated_cost.nff_removals == 0
+    # both find the genuinely broken component
+    assert any(
+        r.action is MaintenanceAction.REPLACE_COMPONENT
+        and r.fru.name == "comp1"
+        for r in integrated_recs
+    )
+    assert "comp1" in obd.components_with_dtc()
+    # money saved
+    assert integrated_cost.savings_vs(obd_cost) > 0
+
+
+def test_obd_blind_to_short_transients_integrated_not():
+    parts = figure10_cluster(seed=6)
+    cluster = parts.cluster
+    service = DiagnosticService(cluster, collector="comp5")
+    obd = ObdBaseline(cluster)
+    injector = FaultInjector(cluster)
+    # recurring sub-500ms internal transients: classic NFF trigger
+    injector.inject_recurring_transients(
+        "comp2", ms(100), seconds(4), fit=1.5e12, min_occurrences=6
+    )
+    cluster.run(seconds(4))
+    assert obd.dtcs == []  # every outage below the 500 ms threshold
+    verdicts = {str(v.fru): v for v in service.verdicts()}
+    assert "component:comp2" in verdicts
+
+
+def test_campaign_scoring_end_to_end():
+    parts, service, obd, injector = run_mixed_campaign(seed=8)
+    score = score_campaign(
+        injector.injected,
+        service.verdicts(),
+        job_locations=parts.cluster.job_location,
+    )
+    assert score.accuracy >= 0.5
+    assert score.matched >= 1

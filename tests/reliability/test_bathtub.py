@@ -1,0 +1,81 @@
+"""Unit tests for the bathtub model (Fig. 7)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.reliability.bathtub import BathtubModel
+from repro.units import HOURS_PER_YEAR
+
+
+@pytest.fixture
+def model():
+    return BathtubModel()
+
+
+def test_three_phases_in_order(model):
+    assert model.phase_of(10.0) == "infant"
+    assert model.phase_of(5 * HOURS_PER_YEAR) == "useful"
+    assert model.phase_of(25 * HOURS_PER_YEAR) == "wearout"
+
+
+def test_hazard_is_sum_of_components(model):
+    t = 1000.0
+    total = float(model.hazard(t))
+    parts = (
+        float(model.infant_hazard(t))
+        + float(model.useful_hazard(t))
+        + float(model.wearout_hazard(t))
+    )
+    assert total == pytest.approx(parts)
+
+
+def test_bathtub_shape(model):
+    """Hazard falls from the start, flattens, then rises again."""
+    t, h = model.curve(30 * HOURS_PER_YEAR, points=300)
+    i_min = int(np.argmin(h))
+    assert h[0] > h[i_min]
+    assert h[-1] > h[i_min]
+    assert 0 < i_min < len(h) - 1
+
+
+def test_useful_life_rate_calibrated_to_pauli_meyna(model):
+    # At 5 years the hazard is within 2x of the 50/1M/yr field statistic.
+    per_year = float(model.hazard(5 * HOURS_PER_YEAR)) * HOURS_PER_YEAR
+    assert 25e-6 < per_year < 100e-6
+
+
+def test_no_weak_fraction_no_infant_hazard():
+    model = BathtubModel(weak_fraction=0.0)
+    assert float(model.infant_hazard(10.0)) == 0.0
+
+
+def test_sample_failure_ages(model):
+    rng = np.random.default_rng(1)
+    ages = model.sample_failure_age_hours(rng, 5000)
+    assert ages.shape == (5000,)
+    assert np.all(ages > 0)
+    # Wearout dominates the median (around the wearout scale).
+    assert 5 * HOURS_PER_YEAR < np.median(ages) < 80 * HOURS_PER_YEAR
+    # The weak subpopulation produces early failures.
+    assert (ages < 1000.0).mean() > 0.003
+
+
+def test_curve_validation(model):
+    with pytest.raises(ConfigurationError):
+        model.curve(0.0)
+    with pytest.raises(ConfigurationError):
+        model.curve(100.0, points=1)
+
+
+def test_parameter_validation():
+    with pytest.raises(ConfigurationError):
+        BathtubModel(weak_fraction=1.5)
+    with pytest.raises(ConfigurationError):
+        BathtubModel(infant_shape=1.2)
+    with pytest.raises(ConfigurationError):
+        BathtubModel(wearout_shape=0.8)
+    with pytest.raises(ConfigurationError):
+        BathtubModel(useful_rate_per_h=-1.0)

@@ -1,0 +1,86 @@
+"""Unit tests for FIT arithmetic and Poisson sampling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.reliability.fit import (
+    expected_failures,
+    exponential_arrivals_us,
+    fit_from_mtbf_hours,
+    observed_fit,
+    thinned_arrivals_us,
+)
+from repro.units import hours
+
+
+def test_expected_failures():
+    # 100 FIT over 1e7 device-hours -> 1 expected failure.
+    assert expected_failures(100.0, 1e7) == pytest.approx(1.0)
+    assert expected_failures(100.0, 1e5, units=100) == pytest.approx(1.0)
+    with pytest.raises(ConfigurationError):
+        expected_failures(1.0, -1.0)
+
+
+def test_observed_fit_roundtrip():
+    assert observed_fit(1, 1e7) == pytest.approx(100.0)
+    with pytest.raises(ConfigurationError):
+        observed_fit(1, 0.0)
+
+
+def test_fit_from_mtbf():
+    assert fit_from_mtbf_hours(1e7) == pytest.approx(100.0)
+    with pytest.raises(ConfigurationError):
+        fit_from_mtbf_hours(0.0)
+
+
+def test_exponential_arrivals_rate():
+    rng = np.random.default_rng(0)
+    # 1e9 FIT == 1 per hour; over 200 hours expect ~200 arrivals.
+    arrivals = exponential_arrivals_us(rng, 1e9, hours(200))
+    assert 150 < arrivals.size < 260
+    assert np.all(np.diff(arrivals) >= 0)
+    assert arrivals[-1] < hours(200)
+
+
+def test_exponential_arrivals_empty_cases():
+    rng = np.random.default_rng(0)
+    assert exponential_arrivals_us(rng, 0.0, 1000).size == 0
+    assert exponential_arrivals_us(rng, 100.0, 10, start_us=10).size == 0
+    with pytest.raises(ConfigurationError):
+        exponential_arrivals_us(rng, -1.0, 100)
+
+
+def test_exponential_arrivals_respect_start():
+    rng = np.random.default_rng(1)
+    arrivals = exponential_arrivals_us(rng, 1e9, hours(100), start_us=hours(50))
+    assert arrivals.size > 0
+    assert arrivals[0] >= hours(50)
+
+
+def test_thinned_arrivals_match_profile():
+    rng = np.random.default_rng(2)
+
+    def profile(t):
+        return np.where(np.asarray(t) < hours(100), 0.0, 2e9)
+
+    arrivals = thinned_arrivals_us(rng, profile, 2e9, hours(200))
+    assert arrivals.size > 0
+    assert np.all(arrivals >= hours(100) * 0.999)
+    # roughly 200 arrivals in the active half (2/hour x 100h)
+    assert 140 < arrivals.size < 270
+
+
+def test_thinned_rejects_underestimated_max():
+    rng = np.random.default_rng(3)
+    with pytest.raises(ConfigurationError):
+        thinned_arrivals_us(
+            rng, lambda t: np.full(np.shape(t), 2e9), 1e9, hours(100)
+        )
+
+
+def test_thinned_zero_max_is_empty():
+    rng = np.random.default_rng(4)
+    assert thinned_arrivals_us(rng, lambda t: t, 0.0, 1000).size == 0

@@ -1,0 +1,36 @@
+"""Unit tests for Pecht's-law projections."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.reliability import pecht
+
+
+def test_doubling_every_14_months():
+    assert float(pecht.time_to_failure_multiplier(14.0)) == pytest.approx(2.0)
+    assert float(pecht.time_to_failure_multiplier(28.0)) == pytest.approx(4.0)
+    assert float(pecht.time_to_failure_multiplier(0.0)) == pytest.approx(1.0)
+
+
+def test_permanent_rate_halves_per_doubling():
+    assert float(pecht.permanent_fit_after(100.0, 14.0)) == pytest.approx(50.0)
+    with pytest.raises(ConfigurationError):
+        pecht.permanent_fit_after(-1.0, 14.0)
+
+
+def test_transient_rate_grows():
+    after = float(pecht.transient_fit_after(1e5, 14.0, growth_per_doubling=1.4))
+    assert after == pytest.approx(1.4e5)
+    with pytest.raises(ConfigurationError):
+        pecht.transient_fit_after(1.0, 1.0, growth_per_doubling=0.0)
+
+
+def test_ratio_widens_over_time():
+    months = np.array([0.0, 14.0, 28.0])
+    ratios = pecht.transient_to_permanent_ratio(months)
+    assert ratios[0] == pytest.approx(1000.0)
+    assert ratios[1] == pytest.approx(2800.0)
+    assert np.all(np.diff(ratios) > 0)

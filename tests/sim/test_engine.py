@@ -1,0 +1,188 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SchedulingError, SimulationError
+from repro.sim.engine import (
+    PRIORITY_FAULT,
+    PRIORITY_MONITOR,
+    PRIORITY_NETWORK,
+    Simulator,
+)
+
+
+def test_events_run_in_time_order():
+    sim = Simulator()
+    order = []
+    sim.schedule_at(30, lambda s: order.append("c"))
+    sim.schedule_at(10, lambda s: order.append("a"))
+    sim.schedule_at(20, lambda s: order.append("b"))
+    sim.run_until(100)
+    assert order == ["a", "b", "c"]
+    assert sim.now == 100
+
+
+def test_same_time_events_run_by_priority_then_insertion():
+    sim = Simulator()
+    order = []
+    sim.schedule_at(5, lambda s: order.append("monitor"), priority=PRIORITY_MONITOR)
+    sim.schedule_at(5, lambda s: order.append("fault"), priority=PRIORITY_FAULT)
+    sim.schedule_at(5, lambda s: order.append("net1"), priority=PRIORITY_NETWORK)
+    sim.schedule_at(5, lambda s: order.append("net2"), priority=PRIORITY_NETWORK)
+    sim.run_until(10)
+    assert order == ["fault", "net1", "net2", "monitor"]
+
+
+def test_schedule_in_is_relative():
+    sim = Simulator()
+    hits = []
+    sim.schedule_at(10, lambda s: s.schedule_in(5, lambda s2: hits.append(s2.now)))
+    sim.run_until(20)
+    assert hits == [15]
+
+
+def test_cannot_schedule_in_the_past():
+    sim = Simulator()
+    sim.schedule_at(10, lambda s: None)
+    sim.run_until(50)
+    with pytest.raises(SchedulingError):
+        sim.schedule_at(40, lambda s: None)
+    with pytest.raises(SchedulingError):
+        sim.schedule_in(-1, lambda s: None)
+
+
+def test_cancel_prevents_execution():
+    sim = Simulator()
+    hits = []
+    event = sim.schedule_at(10, lambda s: hits.append("cancelled"))
+    sim.schedule_at(10, lambda s: hits.append("kept"))
+    sim.cancel(event)
+    sim.run_until(20)
+    assert hits == ["kept"]
+
+
+def test_periodic_schedules_repeat():
+    sim = Simulator()
+    hits = []
+    sim.schedule_periodic(10, lambda s: hits.append(s.now))
+    sim.run_until(55)
+    assert hits == [10, 20, 30, 40, 50]
+
+
+def test_periodic_with_explicit_start():
+    sim = Simulator()
+    hits = []
+    sim.schedule_periodic(10, lambda s: hits.append(s.now), start=3)
+    sim.run_until(25)
+    assert hits == [3, 13, 23]
+
+
+def test_periodic_rejects_nonpositive_period():
+    sim = Simulator()
+    with pytest.raises(SchedulingError):
+        sim.schedule_periodic(0, lambda s: None)
+
+
+def test_run_until_horizon_before_now_rejected():
+    sim = Simulator()
+    sim.run_until(100)
+    with pytest.raises(SchedulingError):
+        sim.run_until(50)
+
+
+def test_max_events_guard():
+    sim = Simulator()
+
+    def loop(s):
+        s.schedule_in(0, loop)
+
+    sim.schedule_at(0, loop)
+    with pytest.raises(SimulationError):
+        sim.run_until(1, max_events=100)
+
+
+def test_events_at_horizon_execute():
+    sim = Simulator()
+    hits = []
+    sim.schedule_at(10, lambda s: hits.append(s.now))
+    sim.run_until(10)
+    assert hits == [10]
+
+
+def test_step_executes_single_event():
+    sim = Simulator()
+    hits = []
+    sim.schedule_at(5, lambda s: hits.append(1))
+    sim.schedule_at(7, lambda s: hits.append(2))
+    assert sim.step()
+    assert hits == [1]
+    assert sim.step()
+    assert hits == [1, 2]
+    assert not sim.step()
+
+
+def test_events_processed_counter():
+    sim = Simulator()
+    for t in range(10):
+        sim.schedule_at(t, lambda s: None)
+    sim.run_until(20)
+    assert sim.events_processed == 10
+
+
+def test_pending_excludes_cancelled():
+    sim = Simulator()
+    ev = sim.schedule_at(10, lambda s: None)
+    sim.schedule_at(11, lambda s: None)
+    sim.cancel(ev)
+    assert sim.pending == 1
+
+
+def test_not_reentrant():
+    sim = Simulator()
+    errors = []
+
+    def nested(s):
+        try:
+            s.run_until(100)
+        except SimulationError as exc:
+            errors.append(exc)
+
+    sim.schedule_at(1, nested)
+    sim.run_until(10)
+    assert len(errors) == 1
+
+
+@given(st.lists(st.integers(min_value=0, max_value=10_000), min_size=1, max_size=60))
+def test_property_execution_order_is_sorted(times):
+    sim = Simulator()
+    executed = []
+    for t in times:
+        sim.schedule_at(t, lambda s: executed.append(s.now))
+    sim.run_until(10_001)
+    assert executed == sorted(times)
+    assert len(executed) == len(times)
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=100),
+            st.integers(min_value=0, max_value=3),
+        ),
+        min_size=1,
+        max_size=50,
+    )
+)
+def test_property_priority_order_within_instant(pairs):
+    sim = Simulator()
+    executed = []
+    for i, (t, prio) in enumerate(pairs):
+        sim.schedule_at(
+            t, (lambda idx: (lambda s: executed.append(idx)))(i), priority=prio
+        )
+    sim.run_until(101)
+    keys = [(pairs[i][0], pairs[i][1], i) for i in executed]
+    assert keys == sorted(keys)

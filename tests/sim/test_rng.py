@@ -1,0 +1,80 @@
+"""Unit tests for the named RNG registry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sim.rng import RngRegistry
+
+
+def test_same_seed_same_stream_reproduces():
+    a = RngRegistry(seed=42).stream("x").random(10)
+    b = RngRegistry(seed=42).stream("x").random(10)
+    assert np.array_equal(a, b)
+
+
+def test_different_seeds_differ():
+    a = RngRegistry(seed=1).stream("x").random(10)
+    b = RngRegistry(seed=2).stream("x").random(10)
+    assert not np.array_equal(a, b)
+
+
+def test_different_names_are_independent():
+    reg = RngRegistry(seed=7)
+    a = reg.stream("a").random(10)
+    b = reg.stream("b").random(10)
+    assert not np.array_equal(a, b)
+
+
+def test_stream_is_cached():
+    reg = RngRegistry(seed=0)
+    assert reg.stream("s") is reg.stream("s")
+
+
+def test_adding_stream_does_not_perturb_existing():
+    reg1 = RngRegistry(seed=5)
+    _ = reg1.stream("first").random(3)
+    after = reg1.stream("first").random(5)
+
+    reg2 = RngRegistry(seed=5)
+    _ = reg2.stream("first").random(3)
+    _ = reg2.stream("second")  # new consumer
+    after2 = reg2.stream("first").random(5)
+    assert np.array_equal(after, after2)
+
+
+def test_fresh_resets_stream_state():
+    reg = RngRegistry(seed=9)
+    first = reg.stream("s").random(4)
+    _ = reg.stream("s").random(4)
+    again = reg.fresh("s").random(4)
+    assert np.array_equal(first, again)
+
+
+def test_spawn_children_independent_and_cached():
+    reg = RngRegistry(seed=3)
+    children = reg.spawn("pool", 3)
+    assert len(children) == 3
+    draws = [c.random(4) for c in children]
+    assert not np.array_equal(draws[0], draws[1])
+    again = reg.spawn("pool", 3)
+    assert children[0] is again[0]
+
+
+def test_spawn_negative_count_rejected():
+    with pytest.raises(ValueError):
+        RngRegistry(0).spawn("x", -1)
+
+
+def test_seed_must_be_int():
+    with pytest.raises(TypeError):
+        RngRegistry(seed="abc")  # type: ignore[arg-type]
+
+
+def test_names_sorted_and_len():
+    reg = RngRegistry(seed=0)
+    reg.stream("b")
+    reg.stream("a")
+    assert list(reg.names()) == ["a", "b"]
+    assert len(reg) == 2

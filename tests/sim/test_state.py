@@ -1,0 +1,112 @@
+"""Unit tests for the distributed-state recorder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults.injector import FaultInjector
+from repro.presets import small_cluster
+from repro.sim.state import DistributedStateRecorder, attach_recorder
+from repro.units import ms
+
+
+def make_recorder(**kwargs):
+    return DistributedStateRecorder(granularity_us=1000, **kwargs)
+
+
+def test_register_and_capture():
+    rec = make_recorder()
+    value = {"x": 1}
+    rec.register("c0", "x", lambda: value["x"])
+    snap = rec.capture(0)
+    assert snap is not None
+    assert snap.of("c0", "x") == 1
+    value["x"] = 2
+    snap2 = rec.capture(1000)
+    assert snap2.of("c0", "x") == 2
+    # earlier snapshot unchanged (consistent history)
+    assert rec.at_point(0).of("c0", "x") == 1
+
+
+def test_duplicate_registration_rejected():
+    rec = make_recorder()
+    rec.register("c0", "x", lambda: 0)
+    with pytest.raises(ConfigurationError):
+        rec.register("c0", "x", lambda: 1)
+
+
+def test_stride_skips_points():
+    rec = make_recorder(stride_points=5)
+    rec.register("c0", "x", lambda: 0)
+    assert rec.capture(0) is not None
+    assert rec.capture(1000) is None
+    assert rec.capture(4999) is None
+    assert rec.capture(5000) is not None
+    assert len(rec) == 2
+
+
+def test_same_point_captured_once():
+    rec = make_recorder()
+    rec.register("c0", "x", lambda: 0)
+    assert rec.capture(100) is not None
+    assert rec.capture(900) is None
+
+
+def test_time_regression_rejected():
+    rec = make_recorder()
+    rec.capture(10_000)
+    with pytest.raises(ConfigurationError):
+        rec.capture(5_000)
+
+
+def test_capacity_evicts_oldest():
+    rec = make_recorder(capacity=3)
+    rec.register("c0", "x", lambda: 0)
+    for point in range(5):
+        rec.capture(point * 1000)
+    assert len(rec) == 3
+    assert rec.at_point(0) is None
+    assert rec.at_point(4) is not None
+    assert rec.latest().lattice_point == 4
+
+
+def test_history_series():
+    rec = make_recorder()
+    counter = {"n": 0}
+
+    def probe():
+        counter["n"] += 1
+        return counter["n"]
+
+    rec.register("c0", "n", probe)
+    for point in range(3):
+        rec.capture(point * 1000)
+    history = rec.history("c0", "n")
+    assert [v for _, v in history] == [1, 2, 3]
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        DistributedStateRecorder(0)
+    with pytest.raises(ConfigurationError):
+        make_recorder(stride_points=0)
+    with pytest.raises(ConfigurationError):
+        make_recorder(capacity=0)
+
+
+def test_attach_recorder_on_cluster():
+    cluster = small_cluster(4, seed=81)
+    rec = attach_recorder(cluster, stride_points=1)
+    FaultInjector(cluster).inject_permanent_internal("c1", ms(50))
+    cluster.run(ms(200))
+    assert len(rec) > 10
+    snap = rec.latest()
+    assert snap.of("c1", "operational") is False
+    assert snap.of("c0", "operational") is True
+    assert snap.of("c0", "frames_sent") > 0
+    # missed frames of the dead node accumulate in the history
+    misses = [v for _, v in rec.history("c1", "frames_missed")]
+    assert misses[-1] > misses[0]
+    # job dispatch counters present
+    assert snap.of("c0", "job.p0.dispatches") > 0

@@ -1,0 +1,67 @@
+"""Unit tests for the trace recorder."""
+
+from __future__ import annotations
+
+from repro.sim.trace import TraceRecorder
+
+
+def make_recorder() -> TraceRecorder:
+    tr = TraceRecorder()
+    tr.record(10, "frame.sent", "c0", slot=1)
+    tr.record(20, "frame.dropped", "c1", reason="omission")
+    tr.record(30, "frame.sent", "c0", slot=2)
+    tr.record(40, "symptom", "c2", kind="crc")
+    return tr
+
+
+def test_exact_kind_filter():
+    tr = make_recorder()
+    assert len(tr.records("frame.sent")) == 2
+    assert tr.count("frame.sent") == 2
+
+
+def test_namespace_filter():
+    tr = make_recorder()
+    assert len(tr.records("frame.")) == 3
+    assert tr.count("frame.") == 3
+
+
+def test_source_filter():
+    tr = make_recorder()
+    assert len(tr.records(source="c0")) == 2
+
+
+def test_time_window_half_open():
+    tr = make_recorder()
+    assert [r.time for r in tr.records(since=20, until=40)] == [20, 30]
+
+
+def test_where_predicate():
+    tr = make_recorder()
+    matches = tr.records("frame.sent", where=lambda r: r.data["slot"] == 2)
+    assert len(matches) == 1
+    assert matches[0].time == 30
+
+
+def test_last_and_none():
+    tr = make_recorder()
+    assert tr.last("frame.sent").time == 30
+    assert tr.last("nonexistent") is None
+
+
+def test_kinds_summary():
+    tr = make_recorder()
+    assert tr.kinds() == {"frame.sent": 2, "frame.dropped": 1, "symptom": 1}
+
+
+def test_iteration_and_len():
+    tr = make_recorder()
+    assert len(tr) == 4
+    assert [r.time for r in tr] == [10, 20, 30, 40]
+
+
+def test_clear():
+    tr = make_recorder()
+    tr.clear()
+    assert len(tr) == 0
+    assert tr.kinds() == {}

@@ -1,0 +1,42 @@
+"""Tests for the ``python -m repro`` command-line front door."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.__main__ import main
+
+
+def test_no_command_prints_help(capsys):
+    assert main([]) == 1
+    assert "demo" in capsys.readouterr().out
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "Scenario catalogue" in out
+    assert "wearout" in out
+
+
+def test_scenario_command_runs(capsys):
+    assert main(["--seed", "7", "scenario", "seu"]) == 0
+    out = capsys.readouterr().out
+    assert "component-external" in out
+    assert "correct" in out
+
+
+def test_unknown_scenario_rejected(capsys):
+    assert main(["scenario", "warp-core-breach"]) == 2
+
+
+def test_bathtub_command(capsys):
+    assert main(["bathtub"]) == 0
+    assert "Bathtub" in capsys.readouterr().out
+
+
+def test_demo_command(capsys):
+    assert main(["--seed", "3", "demo"]) == 0
+    out = capsys.readouterr().out
+    assert "component:comp2" in out
+    assert "replace component" in out

@@ -1,0 +1,112 @@
+"""Tests for the reference cluster presets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.components.das import Criticality
+from repro.presets import figure10_cluster, small_cluster
+from repro.units import ms
+
+
+def test_small_cluster_structure():
+    cluster = small_cluster(n_components=5, seed=1)
+    assert len(cluster.components) == 5
+    assert cluster.job_location["p0"] == "c0"
+    assert set(cluster.vns) == {"vn-main"}
+    with pytest.raises(ValueError):
+        small_cluster(n_components=1)
+
+
+def test_figure10_placement_matches_paper():
+    parts = figure10_cluster(seed=1)
+    cluster = parts.cluster
+    loc = cluster.job_location
+    assert loc["A1"] == "comp1" and loc["B1"] == "comp1" and loc["S1"] == "comp1"
+    assert loc["A3"] == "comp2" and loc["C1"] == "comp2"
+    assert loc["C2"] == "comp2" and loc["S2"] == "comp2"
+    assert loc["A2"] == "comp3" and loc["B2"] == "comp3" and loc["S3"] == "comp3"
+    assert loc["s-voter"] == "comp4"
+    assert loc["diag"] == "comp5"
+
+
+def test_figure10_component2_shares_four_dases():
+    parts = figure10_cluster(seed=1)
+    comp2 = parts.cluster.components["comp2"]
+    assert comp2.das_names() == frozenset({"A", "C", "S"})
+    assert len(comp2.partitions) == 4
+
+
+def test_figure10_criticalities():
+    parts = figure10_cluster(seed=1)
+    dases = parts.cluster.dases
+    assert dases["S"].criticality is Criticality.SAFETY_CRITICAL
+    assert dases["A"].criticality is Criticality.NON_SAFETY_CRITICAL
+    sc = parts.cluster.components["comp2"].safety_critical_partitions()
+    assert [p.job.name for p in sc] == ["S2"]
+
+
+def test_figure10_healthy_run_is_clean():
+    parts = figure10_cluster(seed=1)
+    parts.cluster.run(ms(500))
+    anomalies = {
+        k: v
+        for k, v in parts.cluster.trace.kinds().items()
+        if k != "fault.injected"
+    }
+    assert anomalies == {}
+
+
+def test_figure10_sensor_stimulus_active():
+    parts = figure10_cluster(seed=1)
+    cluster = parts.cluster
+    v0 = cluster.job("C1").sensors["wheel_speed"]
+    cluster.run(ms(600))
+    v1 = cluster.job("C1").sensors["wheel_speed"]
+    assert v0 != v1
+
+
+def test_figure10_replicas_agree():
+    parts = figure10_cluster(seed=1)
+    cluster = parts.cluster
+    # Stop after comp3's slot within a round, so all three replicas have
+    # dispatched on the same time quantum (replica determinism holds per
+    # round, not across a round boundary snapshot).
+    cluster.run(ms(198))
+    voter = cluster.job("s-voter")
+    values = {
+        name: voter.port(port).read_state().value
+        for name, port in (("S1", "in_s1"), ("S2", "in_s2"), ("S3", "in_s3"))
+    }
+    assert len({round(v, 9) for v in values.values()}) == 1
+
+
+def test_gateway_cluster_structure():
+    from repro.presets import gateway_cluster
+
+    cluster = gateway_cluster(seed=2)
+    assert set(cluster.components) == {
+        "ecu-chassis",
+        "ecu-gateway",
+        "ecu-dashboard",
+    }
+    gw = cluster.job("gw-chassis-telematics")
+    assert gw.das == "telematics"
+
+
+def test_avionics_cluster_structure():
+    from repro.presets import avionics_cluster
+
+    parts = avionics_cluster(seed=2)
+    cluster = parts.cluster
+    assert len(cluster.components) == 8
+    # lrm2 hosts one replica of each TMR triple
+    assert cluster.components["lrm2"].das_names() == frozenset(
+        {"elevator", "rudder"}
+    )
+    sc = [
+        d.name
+        for d in cluster.dases.values()
+        if d.is_safety_critical
+    ]
+    assert sorted(sc) == ["elevator", "rudder"]

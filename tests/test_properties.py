@@ -1,0 +1,138 @@
+"""Cross-cutting property-based tests (hypothesis batch 2)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.components.ports import Message
+from repro.components.virtual_network import PortAddress, VirtualNetwork, VnLink
+from repro.core.maintenance import CostModel, MaintenanceAction
+from repro.core.patterns import compress_episodes, measure_signature
+from repro.core.symptoms import Symptom, SymptomType
+from repro.core.trust import TrustLevel
+from repro.tta.sync import fault_tolerant_average
+
+
+# -- virtual networks ----------------------------------------------------------
+
+
+@given(
+    st.integers(min_value=1, max_value=16),
+    st.integers(min_value=0, max_value=64),
+)
+def test_property_vn_admit_respects_budget(budget, n_messages):
+    vn = VirtualNetwork(
+        "v",
+        "d",
+        (VnLink(PortAddress("j", "out"), ()),),
+        slot_budget=budget,
+    )
+    messages = [Message("j", "out", float(i), i, 0) for i in range(n_messages)]
+    admitted = vn.admit(messages)
+    assert len(admitted) == min(budget, n_messages)
+    assert vn.tx_overflows == max(0, n_messages - budget)
+    assert admitted == messages[: len(admitted)]  # prefix order preserved
+
+
+# -- cost model ------------------------------------------------------------------
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(list(MaintenanceAction)),
+            st.booleans(),
+        ),
+        max_size=50,
+    )
+)
+def test_property_cost_model_invariants(records):
+    model = CostModel(removal_cost_usd=800.0)
+    for action, justified in records:
+        model.record(action, fault_present_in_removed_fru=justified)
+    assert 0 <= model.nff_removals <= model.removals <= len(records)
+    assert model.wasted_cost_usd == model.nff_removals * 800.0
+    assert 0.0 <= model.nff_ratio <= 1.0
+    removal_actions = {
+        MaintenanceAction.REPLACE_COMPONENT,
+        MaintenanceAction.INSPECT_TRANSDUCER,
+        MaintenanceAction.INSPECT_CONNECTOR,
+    }
+    expected_removals = sum(1 for a, _ in records if a in removal_actions)
+    assert model.removals == expected_removals
+
+
+# -- trust ------------------------------------------------------------------------
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=10.0), max_size=60))
+def test_property_trust_stays_in_bounds(weights):
+    level = TrustLevel(demerit=0.6, recovery=0.05, floor=0.02)
+    for t, weight in enumerate(weights):
+        value = level.update(weight, t)
+        assert 0.02 - 1e-12 <= value <= 1.0
+
+
+@given(st.floats(min_value=0.01, max_value=5.0))
+def test_property_trust_violation_never_increases(weight):
+    level = TrustLevel()
+    before = level.value
+    after = level.update(weight, 0)
+    assert after < before or after == level.floor
+
+
+# -- FTA -------------------------------------------------------------------------
+
+
+@given(
+    st.lists(
+        st.floats(min_value=-1000, max_value=1000),
+        min_size=5,
+        max_size=25,
+    ),
+    st.floats(min_value=1e4, max_value=1e8),
+    st.floats(min_value=1e4, max_value=1e8),
+)
+def test_property_fta_tolerates_two_outliers_with_k2(good, out1, out2):
+    result = fault_tolerant_average(good + [out1, -out2], k=2)
+    assert min(good) - 1e-9 <= result <= max(good) + 1e-9
+
+
+# -- patterns ------------------------------------------------------------------------
+
+
+def _sym(point, subject="c0"):
+    return Symptom(
+        type=SymptomType.OMISSION,
+        observer="obs",
+        subject_component=subject,
+        time_us=point,
+        lattice_point=point,
+    )
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=5_000), max_size=80),
+    st.integers(min_value=1, max_value=20),
+)
+def test_property_compress_episodes_monotone_and_bounded(points, gap):
+    symptoms = [_sym(p) for p in points]
+    compressed = compress_episodes(symptoms, gap_points=gap)
+    out_points = [s.lattice_point for s in compressed]
+    assert out_points == sorted(out_points)
+    assert len(compressed) <= len(set(points)) if points else True
+    # consecutive episode starts are separated by more than the gap
+    assert all(
+        b - a > gap for a, b in zip(out_points, out_points[1:])
+    )
+
+
+@given(st.lists(st.integers(min_value=0, max_value=10_000), max_size=60))
+def test_property_signature_fields_well_defined(points):
+    signature = measure_signature([_sym(p) for p in points])
+    assert signature.n_symptoms == len(points)
+    if points:
+        assert 0.0 < signature.simultaneity <= 1.0
+        assert signature.frequency_trend > 0.0
+        assert signature.lattice_spread == max(points) - min(points)

@@ -1,0 +1,45 @@
+"""Unit tests for bus guardians."""
+
+from __future__ import annotations
+
+from repro.tta.guardian import BusGuardian
+from repro.tta.tdma import TdmaSchedule
+
+
+def make_guardian(tolerance=0):
+    sched = TdmaSchedule(("a", "b", "c"), 1000)
+    return BusGuardian("b", sched, window_tolerance_us=tolerance)
+
+
+def test_in_slot_send_passes():
+    g = make_guardian()
+    assert g.check(1500.0).allowed
+    assert g.passed_count == 1
+
+
+def test_foreign_slot_send_blocked():
+    g = make_guardian()
+    decision = g.check(250.0)  # slot of "a"
+    assert not decision.allowed
+    assert decision.reason == "foreign-slot"
+    assert g.blocked_count == 1
+    assert g.blocked_events() == [(250, "foreign-slot")]
+
+
+def test_tolerance_band_after_slot():
+    g = make_guardian(tolerance=50)
+    assert g.check(2049.0).allowed  # 49us past own slot end
+    assert not g.check(2200.0).allowed
+
+
+def test_early_send_within_tolerance():
+    g = make_guardian(tolerance=50)
+    # 30us before own slot start (still in a's slot)
+    decision = g.check(970.0)
+    assert decision.allowed
+    assert decision.reason == "early-within-tolerance"
+
+
+def test_next_round_slot_also_passes():
+    g = make_guardian()
+    assert g.check(4500.0).allowed  # b's slot in round 1

@@ -4,21 +4,39 @@ Every bench regenerates one figure of the paper: it computes the artefact
 (table/series), writes it to ``benchmarks/out/<name>.txt`` and prints it
 (visible with ``pytest -s``), and additionally times a representative
 computational kernel through pytest-benchmark.
+
+Alongside each ``.txt`` artefact, :func:`emit` writes a machine-readable
+``<name>.json`` record so downstream tooling (trend dashboards,
+regression detectors) can consume benchmark trajectories without
+scraping tables.  Pass structured results via ``data=``.
 """
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
+from typing import Any
 
 OUT_DIR = Path(__file__).parent / "out"
 
 
-def emit(name: str, text: str) -> None:
-    """Persist and print one figure artefact."""
-    OUT_DIR.mkdir(exist_ok=True)
+def emit(name: str, text: str, data: dict[str, Any] | None = None) -> None:
+    """Persist and print one figure artefact.
+
+    Writes ``out/<name>.txt`` (human-readable) and ``out/<name>.json``
+    (machine-readable: the text plus any structured ``data``).
+    """
+    OUT_DIR.mkdir(parents=True, exist_ok=True)
     path = OUT_DIR / f"{name}.txt"
     path.write_text(text + "\n", encoding="utf-8")
-    print(f"\n{text}\n[written to {path}]")
+    record: dict[str, Any] = {"name": name, "text": text}
+    if data is not None:
+        record["data"] = data
+    json_path = OUT_DIR / f"{name}.json"
+    json_path.write_text(
+        json.dumps(record, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    print(f"\n{text}\n[written to {path} and {json_path}]")
 
 
 def once(benchmark, func, *args, **kwargs):

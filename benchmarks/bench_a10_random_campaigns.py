@@ -95,6 +95,16 @@ def test_a10_random_field_campaigns(benchmark):
         + "\n\n"
         + mech_table
         + f"\n\noverall: {correct}/{total} ({correct / total:.0%})",
+        data={
+            "seeds": list(SEEDS),
+            "faults_injected": total,
+            "correctly_attributed": correct,
+            "accuracy": round(correct / total, 4),
+            "per_mechanism_accuracy": {
+                m: round(sum(goods) / len(goods), 4)
+                for m, goods in sorted(per_mechanism.items())
+            },
+        },
     )
     assert total >= 20
     assert correct / total >= 0.85

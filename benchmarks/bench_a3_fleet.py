@@ -67,7 +67,16 @@ def test_a3_fleet_size_sensitivity(benchmark):
             f"({N_JOB_TYPES} types, 0.4 failures/vehicle)"
         ),
     )
-    emit("a3_fleet", table)
+    emit(
+        "a3_fleet",
+        table,
+        data={
+            "fleet_sizes": list(FLEET_SIZES),
+            "trials": TRIALS,
+            "n_job_types": N_JOB_TYPES,
+            "mean_f1": {str(n): round(f1, 4) for n, f1 in means.items()},
+        },
+    )
 
     # Representative populations identify the hot set almost perfectly;
     # tiny fleets do not.

@@ -1,0 +1,97 @@
+"""Parallel campaign runner — scaling and serial-equivalence bench.
+
+Runs a ≥200-replica stochastic fault campaign once serially and once
+through the spawn worker pool, asserts the two aggregates are
+bit-identical, and records the wall-clock trajectory in
+``benchmarks/out/BENCH_parallel.json`` (structured: per-run metrics,
+speedup, host parallelism).
+
+The speedup assertion is hardware-gated: on a multi-core host the pool
+must deliver ≥2x; on a single-core container (where no wall-clock
+speedup is physically possible) the bench still verifies equivalence
+and records ``cpu_count`` so the trajectory is interpretable.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.analysis.reports import render_table
+from repro.faults.campaign import CampaignReplicaSpec
+from repro.runtime.workloads import run_random_campaigns
+from repro.units import ms
+
+from benchmarks._util import emit, once
+
+REPLICAS = int(os.environ.get("REPRO_BENCH_REPLICAS", "200"))
+ROOT_SEED = 1234
+WORKERS = 4
+SPEC = CampaignReplicaSpec(expected_faults=3.0, horizon_us=ms(300))
+
+
+def run_both():
+    serial = run_random_campaigns(
+        REPLICAS, root_seed=ROOT_SEED, spec=SPEC, workers=1
+    )
+    parallel = run_random_campaigns(
+        REPLICAS, root_seed=ROOT_SEED, spec=SPEC, workers=WORKERS
+    )
+    return serial, parallel
+
+
+def test_parallel_campaign_scaling(benchmark):
+    cpu_count = os.cpu_count() or 1
+    serial, parallel = once(benchmark, run_both)
+    assert serial.value == parallel.value, (
+        "parallel aggregate diverged from serial — determinism broken"
+    )
+    speedup = (
+        serial.metrics.wall_time_s / parallel.metrics.wall_time_s
+        if parallel.metrics.wall_time_s > 0
+        else 0.0
+    )
+    summary = serial.value
+    table = render_table(
+        ["run", "workers", "wall [s]", "events/s", "chunks retried"],
+        [
+            [
+                "serial",
+                1,
+                f"{serial.metrics.wall_time_s:.2f}",
+                f"{serial.metrics.events_per_second:,.0f}",
+                serial.metrics.retries,
+            ],
+            [
+                "parallel",
+                WORKERS,
+                f"{parallel.metrics.wall_time_s:.2f}",
+                f"{parallel.metrics.events_per_second:,.0f}",
+                parallel.metrics.retries,
+            ],
+        ],
+        title=(
+            f"Parallel campaign runner: {REPLICAS} replicas, "
+            f"{summary.faults_injected} faults, speedup {speedup:.2f}x "
+            f"on {cpu_count} CPU(s)"
+        ),
+    )
+    emit(
+        "BENCH_parallel",
+        table,
+        data={
+            "replicas": REPLICAS,
+            "root_seed": ROOT_SEED,
+            "cpu_count": cpu_count,
+            "speedup": round(speedup, 3),
+            "identical_aggregates": True,
+            "plan_digest": summary.plan_digest,
+            "campaign_summary": summary.to_dict(),
+            "serial": serial.metrics.to_dict(),
+            "parallel": parallel.metrics.to_dict(),
+        },
+    )
+    assert REPLICAS >= 200 or "REPRO_BENCH_REPLICAS" in os.environ
+    if cpu_count >= WORKERS:
+        assert speedup >= 2.0, (
+            f"expected >=2x speedup on {cpu_count} CPUs, got {speedup:.2f}x"
+        )

@@ -15,7 +15,9 @@ Public API layout:
 * :mod:`repro.diagnosis` — detection, dissemination, diagnostic DAS, OBD
   baseline;
 * :mod:`repro.analysis` — scoring and report rendering;
-* :mod:`repro.presets` — ready-made reference clusters (incl. Fig. 10).
+* :mod:`repro.presets` — ready-made reference clusters (incl. Fig. 10);
+* :mod:`repro.runtime` — parallel campaign runner with deterministic
+  per-replica seed streams (serial-equivalent results).
 """
 
 from repro.components.cluster import Cluster, ClusterSpec
@@ -24,6 +26,8 @@ from repro.core.maintenance import MaintenanceAction
 from repro.diagnosis.diag_das import DiagnosticService
 from repro.faults.injector import FaultInjector
 from repro.presets import avionics_cluster, figure10_cluster, gateway_cluster, small_cluster
+from repro.runtime.metrics import RunMetrics
+from repro.runtime.runner import ParallelCampaignRunner, ReplicaTask
 
 __version__ = "1.0.0"
 
@@ -37,6 +41,9 @@ __all__ = [
     "MaintenanceAction",
     "DiagnosticService",
     "FaultInjector",
+    "ParallelCampaignRunner",
+    "ReplicaTask",
+    "RunMetrics",
     "avionics_cluster",
     "figure10_cluster",
     "gateway_cluster",

@@ -8,12 +8,23 @@ Commands
 ``campaign``
     Run the full scenario catalogue and print the classification score and
     the NFF comparison against the OBD baseline.
+``mc``
+    Run N independent stochastic fault campaigns (Monte-Carlo) through
+    the parallel runner and print the attribution summary.
+``fleet``
+    Simulate a diagnosed vehicle fleet end-to-end and print the OEM-side
+    correlation.
 ``scenario NAME``
     Run one named scenario from the catalogue (see ``list``).
 ``list``
     List the scenario catalogue.
 ``bathtub``
     Print the Fig. 7 bathtub curve as an ASCII series.
+
+Campaign-style commands accept ``--workers N`` to fan replicas out over
+the spawn-safe process pool (bit-identical results to ``--workers 1``;
+see ``docs/parallel_runtime.md``) and ``--metrics-json PATH`` to write
+the structured run-metrics record.
 """
 
 from __future__ import annotations
@@ -22,6 +33,21 @@ import argparse
 import sys
 
 from repro.analysis.reports import render_series, render_table
+
+
+def _emit_metrics(args: argparse.Namespace, metrics) -> None:
+    """Print the throughput line; write the JSON record if requested."""
+    if metrics is None:
+        return
+    print(
+        f"[{metrics.replicas} replicas, workers={metrics.workers}: "
+        f"{metrics.wall_time_s:.2f} s wall, "
+        f"{metrics.events_simulated:,} events, "
+        f"{metrics.events_per_second:,.0f} events/s]"
+    )
+    if getattr(args, "metrics_json", None):
+        path = metrics.write_json(args.metrics_json)
+        print(f"[metrics written to {path}]")
 
 
 def cmd_demo(args: argparse.Namespace) -> int:
@@ -58,8 +84,11 @@ def cmd_demo(args: argparse.Namespace) -> int:
 def cmd_campaign(args: argparse.Namespace) -> int:
     from repro.analysis.scenarios import CATALOGUE, run_campaign
 
-    print(f"running {len(CATALOGUE)} scenarios ...")
-    result = run_campaign(seeds=(args.seed,))
+    print(
+        f"running {len(CATALOGUE)} scenarios "
+        f"(workers={args.workers}) ..."
+    )
+    result = run_campaign(seeds=(args.seed,), workers=args.workers)
     matrix = result.score.matrix
     print(
         render_table(
@@ -91,6 +120,96 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         )
     )
     print(f"accuracy: {result.score.accuracy:.0%}")
+    _emit_metrics(args, result.metrics)
+    return 0
+
+
+def cmd_mc(args: argparse.Namespace) -> int:
+    from repro.faults.campaign import CampaignReplicaSpec
+    from repro.runtime.workloads import run_random_campaigns
+    from repro.units import ms
+
+    spec = CampaignReplicaSpec(
+        expected_faults=args.expected_faults,
+        horizon_us=ms(args.horizon_ms),
+    )
+    print(
+        f"running {args.replicas} stochastic campaigns "
+        f"(workers={args.workers}, horizon={args.horizon_ms} ms) ..."
+    )
+    outcome = run_random_campaigns(
+        args.replicas, root_seed=args.seed, spec=spec, workers=args.workers
+    )
+    summary = outcome.value
+    print(
+        render_table(
+            ["mechanism", "injected", "attributed", "accuracy"],
+            [
+                [
+                    mechanism,
+                    count,
+                    dict(summary.attributed_by_mechanism).get(mechanism, 0),
+                    f"{accuracy:.0%}",
+                ]
+                for (mechanism, count), accuracy in zip(
+                    summary.injected_by_mechanism,
+                    summary.mechanism_accuracy().values(),
+                )
+            ],
+            title=(
+                f"Monte-Carlo campaign: {summary.faults_injected} faults "
+                f"over {summary.replicas} replicas"
+            ),
+        )
+    )
+    print(
+        f"attribution accuracy: {summary.attribution_accuracy:.0%}  "
+        f"(plan digest {summary.plan_digest[:16]}...)"
+    )
+    _emit_metrics(args, outcome.metrics)
+    return 0
+
+
+def cmd_fleet(args: argparse.Namespace) -> int:
+    from repro.analysis.fleet_sim import simulate_diagnosed_fleet
+    from repro.core.fleet import analyse_fleet
+    from repro.units import ms
+
+    print(
+        f"simulating {args.vehicles} vehicles "
+        f"(workers={args.workers}, drive={args.drive_ms} ms) ..."
+    )
+    result = simulate_diagnosed_fleet(
+        args.vehicles,
+        seed=args.seed,
+        fault_probability=args.fault_prob,
+        drive_duration_us=ms(args.drive_ms),
+        workers=args.workers,
+    )
+    totals = result.report.totals()
+    print(
+        render_table(
+            ["job type", "field reports"],
+            [
+                [job, int(count)]
+                for job, count in zip(result.report.job_types, totals)
+            ],
+            title=(
+                f"Fleet of {result.vehicles_simulated}: "
+                f"{result.vehicles_with_fault} with latent fault, "
+                f"{result.vehicles_detected} detected on-board "
+                f"({result.detection_rate:.0%})"
+            ),
+        )
+    )
+    if totals.sum():
+        analysis = analyse_fleet(result.report)
+        print(
+            "OEM correlation identifies: "
+            + ", ".join(analysis.identified_hot)
+            + f"  (ground truth: {', '.join(sorted(result.report.hot_types))})"
+        )
+    _emit_metrics(args, result.metrics)
     return 0
 
 
@@ -165,9 +284,31 @@ def main(argv: list[str] | None = None) -> int:
         description="DECOS maintenance-oriented fault model reproduction",
     )
     parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for campaign-style commands (default 1)",
+    )
+    parser.add_argument(
+        "--metrics-json",
+        metavar="PATH",
+        default=None,
+        help="write the structured run-metrics record to PATH",
+    )
     sub = parser.add_subparsers(dest="command")
     sub.add_parser("demo", help="quickstart demo")
     sub.add_parser("campaign", help="full classification campaign")
+    mc = sub.add_parser(
+        "mc", help="Monte-Carlo stochastic campaigns via the parallel runner"
+    )
+    mc.add_argument("--replicas", type=int, default=20)
+    mc.add_argument("--expected-faults", type=float, default=3.0)
+    mc.add_argument("--horizon-ms", type=int, default=2_000)
+    fleet = sub.add_parser("fleet", help="end-to-end diagnosed fleet")
+    fleet.add_argument("--vehicles", type=int, default=10)
+    fleet.add_argument("--fault-prob", type=float, default=0.6)
+    fleet.add_argument("--drive-ms", type=int, default=2_000)
     scenario = sub.add_parser("scenario", help="run one named scenario")
     scenario.add_argument("name")
     sub.add_parser("list", help="list the scenario catalogue")
@@ -176,6 +317,8 @@ def main(argv: list[str] | None = None) -> int:
     commands = {
         "demo": cmd_demo,
         "campaign": cmd_campaign,
+        "mc": cmd_mc,
+        "fleet": cmd_fleet,
         "scenario": cmd_scenario,
         "list": cmd_list,
         "bathtub": cmd_bathtub,

@@ -14,16 +14,23 @@ from dataclasses import dataclass, field
 from repro.analysis.metrics import (
     CampaignScore,
     ConfusionMatrix,
-    evaluate_recommendations,
+    removal_justified,
     score_campaign,
 )
 from repro.core.classification import Verdict
 from repro.core.fault_model import FaultClass, FaultDescriptor
-from repro.core.maintenance import CostModel, determine_action
+from repro.core.maintenance import (
+    CostModel,
+    MaintenanceAction,
+    determine_action,
+)
 from repro.diagnosis.baseline_obd import ObdBaseline
 from repro.diagnosis.diag_das import DiagnosticService
+from repro.errors import AnalysisError
 from repro.faults.injector import FaultInjector
 from repro.presets import Figure10Parts, figure10_cluster
+from repro.runtime.metrics import RunMetrics
+from repro.runtime.runner import ParallelCampaignRunner, ReplicaTask
 from repro.units import ms, seconds
 
 
@@ -286,54 +293,97 @@ class CampaignResult:
     score: CampaignScore
     integrated_cost: CostModel
     obd_cost: CostModel
+    metrics: RunMetrics | None = None
 
 
-def run_campaign(
-    scenarios: tuple[Scenario, ...] = CATALOGUE,
-    seeds: tuple[int, ...] = (7,),
-) -> CampaignResult:
-    """Run every scenario on every seed; score classification and costs.
+@dataclass(frozen=True, slots=True)
+class CatalogueCellOutcome:
+    """Plain-data outcome of one (scenario, seed) campaign cell.
 
-    Each scenario runs in its own fresh cluster (faults do not interact),
-    which matches how the per-class figures of the paper are defined.
+    Everything the campaign aggregate needs, picklable, so cells can be
+    computed in worker processes and reduced deterministically.
     """
-    runs: list[ScenarioRun] = []
-    integrated_cost = CostModel()
-    obd_cost = CostModel()
-    for seed in seeds:
-        for scenario in scenarios:
-            run = run_scenario(scenario, seed=seed)
-            runs.append(run)
-            evaluate_recommendations(
-                [determine_action(v) for v in run.verdicts],
-                [run.descriptor],
-                cost_model=integrated_cost,
-            )
-            evaluate_recommendations(
-                run.obd.recommendations(),
-                [run.descriptor],
-                cost_model=obd_cost,
-            )
-    # Each run is an isolated cluster: score per run, merge the matrices
-    # (pooling verdicts across runs would conflate FRUs of different
-    # clusters that happen to share a name).
+
+    index: int
+    scenario: str
+    seed: int
+    truth: FaultClass
+    predicted: FaultClass | None
+    spurious: int
+    integrated_actions: tuple[tuple[MaintenanceAction, bool], ...]
+    obd_actions: tuple[tuple[MaintenanceAction, bool], ...]
+    events_simulated: int
+
+
+def _cell_from_run(run: ScenarioRun, index: int) -> CatalogueCellOutcome:
+    """Distil one executed scenario into its campaign-cell outcome."""
+    integrated = tuple(
+        (rec.action, removal_justified(rec, [run.descriptor]))
+        for rec in (determine_action(v) for v in run.verdicts)
+    )
+    obd = tuple(
+        (rec.action, removal_justified(rec, [run.descriptor]))
+        for rec in run.obd.recommendations()
+    )
+    score = score_campaign(
+        [run.descriptor],
+        run.verdicts,
+        job_locations=run.parts.cluster.job_location,
+    )
+    return CatalogueCellOutcome(
+        index=index,
+        scenario=run.scenario.name,
+        seed=run.seed,
+        truth=run.descriptor.fault_class,
+        predicted=run.predicted_class,
+        spurious=score.spurious_verdicts,
+        integrated_actions=integrated,
+        obd_actions=obd,
+        events_simulated=run.parts.cluster.sim.events_processed,
+    )
+
+
+def run_catalogue_cell(replica: ReplicaTask) -> CatalogueCellOutcome:
+    """Runner task: execute one catalogue (scenario, seed) cell.
+
+    The spec is ``(scenario_name, seed)``; the scenario is resolved from
+    :data:`CATALOGUE` inside the worker (scenario objects carry lambdas
+    and cannot cross a spawn boundary).
+    """
+    scenario_name, seed = replica.spec
+    by_name = {s.name: s for s in CATALOGUE}
+    run = run_scenario(by_name[scenario_name], seed=seed)
+    return _cell_from_run(run, replica.index)
+
+
+def reduce_catalogue_cells(
+    cells: list[CatalogueCellOutcome],
+) -> CampaignResult:
+    """Deterministic reduce: cells in index order -> campaign aggregate.
+
+    Each run is an isolated cluster: score per cell, merge the matrices
+    (pooling verdicts across runs would conflate FRUs of different
+    clusters that happen to share a name).
+    """
     matrix = ConfusionMatrix()
     matched = missed = spurious = 0
-    for run in runs:
-        predicted = run.predicted_class
-        matrix.add(run.descriptor.fault_class, predicted)
-        if predicted is None:
+    integrated_cost = CostModel()
+    obd_cost = CostModel()
+    for cell in cells:
+        for action, justified in cell.integrated_actions:
+            integrated_cost.record(
+                action, fault_present_in_removed_fru=justified
+            )
+        for action, justified in cell.obd_actions:
+            obd_cost.record(action, fault_present_in_removed_fru=justified)
+        matrix.add(cell.truth, cell.predicted)
+        if cell.predicted is None:
             missed += 1
         else:
             matched += 1
-        score = score_campaign(
-            [run.descriptor],
-            run.verdicts,
-            job_locations=run.parts.cluster.job_location,
-        )
-        spurious += score.spurious_verdicts
+        spurious += cell.spurious
     return CampaignResult(
-        runs=tuple(runs),
+        runs=(),
         score=CampaignScore(
             matrix=matrix,
             matched=matched,
@@ -342,6 +392,67 @@ def run_campaign(
         ),
         integrated_cost=integrated_cost,
         obd_cost=obd_cost,
+    )
+
+
+def run_campaign(
+    scenarios: tuple[Scenario, ...] = CATALOGUE,
+    seeds: tuple[int, ...] = (7,),
+    *,
+    workers: int = 1,
+    chunk_size: int | None = None,
+) -> CampaignResult:
+    """Run every scenario on every seed; score classification and costs.
+
+    Each scenario runs in its own fresh cluster (faults do not interact),
+    which matches how the per-class figures of the paper are defined.
+
+    With ``workers > 1`` the (scenario, seed) grid is fanned out over the
+    parallel runtime; the aggregate is identical to a serial run, but
+    ``runs`` is empty (full :class:`ScenarioRun` objects — live clusters
+    and services — do not cross process boundaries).  Parallel execution
+    requires every scenario to come from :data:`CATALOGUE`.
+    """
+    specs = [
+        (scenario.name, seed) for seed in seeds for scenario in scenarios
+    ]
+    if workers > 1:
+        catalogue_names = {s.name for s in CATALOGUE}
+        unknown = {name for name, _ in specs} - catalogue_names
+        if unknown:
+            raise AnalysisError(
+                "parallel campaigns only support catalogue scenarios; "
+                f"unknown: {sorted(unknown)!r}"
+            )
+        runner = ParallelCampaignRunner(
+            run_catalogue_cell,
+            reduce_catalogue_cells,
+            workers=workers,
+            chunk_size=chunk_size,
+        )
+        outcome = runner.run(specs, root_seed=0)
+        result: CampaignResult = outcome.value
+        return CampaignResult(
+            runs=result.runs,
+            score=result.score,
+            integrated_cost=result.integrated_cost,
+            obd_cost=result.obd_cost,
+            metrics=outcome.metrics,
+        )
+
+    by_name = {s.name: s for s in scenarios}
+    runs: list[ScenarioRun] = []
+    cells: list[CatalogueCellOutcome] = []
+    for index, (scenario_name, seed) in enumerate(specs):
+        run = run_scenario(by_name[scenario_name], seed=seed)
+        runs.append(run)
+        cells.append(_cell_from_run(run, index))
+    result = reduce_catalogue_cells(cells)
+    return CampaignResult(
+        runs=tuple(runs),
+        score=result.score,
+        integrated_cost=result.integrated_cost,
+        obd_cost=result.obd_cost,
     )
 
 

@@ -15,12 +15,14 @@ an explicit time-acceleration — while preserving the mechanism mix.
 
 from __future__ import annotations
 
+import hashlib
+from collections.abc import Sequence
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.core.fault_model import FaultDescriptor
-from repro.errors import FaultInjectionError
+from repro.errors import AnalysisError, FaultInjectionError
 from repro.faults.injector import FaultInjector
 from repro.units import ms, seconds
 
@@ -240,3 +242,131 @@ class RandomCampaign:
                 job, port, capacity=1, at_us=at_us
             )
         raise FaultInjectionError(f"unknown mechanism {mechanism!r}")
+
+
+# -- Monte-Carlo replicas and their deterministic aggregate ----------------
+
+
+@dataclass(frozen=True, slots=True)
+class CampaignReplicaSpec:
+    """Parameters of one stochastic campaign replica (picklable).
+
+    A replica builds a fresh Fig. 10 cluster, samples a
+    :class:`RandomCampaign` from its private seed stream, runs the full
+    integrated diagnosis and scores the per-fault attribution.  The spec
+    carries only plain data so ``spawn`` workers can receive it.
+    """
+
+    expected_faults: float = 3.0
+    horizon_us: int = seconds(2)
+    settle_us: int = 0  # extra run time after the horizon
+    sensor_jobs: tuple[str, ...] = ("C1",)
+    software_jobs: tuple[str, ...] = ("A1", "A2", "B1", "C2")
+    config_ports: tuple[tuple[str, str], ...] = (("A3", "in"),)
+
+
+@dataclass(frozen=True, slots=True)
+class CampaignReplicaOutcome:
+    """What one campaign replica produced (plain data, picklable)."""
+
+    index: int
+    plan_events: tuple[tuple[str, str, int], ...]
+    injected_by_mechanism: tuple[tuple[str, int], ...]
+    attributed_by_mechanism: tuple[tuple[str, int], ...]
+    faults_injected: int
+    faults_attributed: int
+    verdicts_emitted: int
+    events_simulated: int
+
+
+@dataclass(frozen=True, slots=True)
+class CampaignSummary:
+    """Deterministic aggregate of a multi-replica stochastic campaign.
+
+    Produced by :func:`summarize_campaign` from replica outcomes sorted
+    by index, so the summary is a pure function of ``(root_seed,
+    spec)`` — identical for any worker count.
+    """
+
+    replicas: int
+    faults_injected: int
+    faults_attributed: int
+    injected_by_mechanism: tuple[tuple[str, int], ...]
+    attributed_by_mechanism: tuple[tuple[str, int], ...]
+    verdicts_emitted: int
+    events_simulated: int
+    plan_digest: str  # sha256 over every (replica, mechanism, target, time)
+
+    @property
+    def attribution_accuracy(self) -> float:
+        if self.faults_injected == 0:
+            return 0.0
+        return self.faults_attributed / self.faults_injected
+
+    def mechanism_accuracy(self) -> dict[str, float]:
+        """Per-mechanism attribution accuracy."""
+        attributed = dict(self.attributed_by_mechanism)
+        return {
+            mechanism: attributed.get(mechanism, 0) / count
+            for mechanism, count in self.injected_by_mechanism
+            if count > 0
+        }
+
+    def to_dict(self) -> dict:
+        """JSON-safe dict form (for BENCH_*.json and --metrics-json)."""
+        return {
+            "replicas": self.replicas,
+            "faults_injected": self.faults_injected,
+            "faults_attributed": self.faults_attributed,
+            "attribution_accuracy": round(self.attribution_accuracy, 4),
+            "injected_by_mechanism": dict(self.injected_by_mechanism),
+            "attributed_by_mechanism": dict(self.attributed_by_mechanism),
+            "verdicts_emitted": self.verdicts_emitted,
+            "events_simulated": self.events_simulated,
+            "plan_digest": self.plan_digest,
+        }
+
+
+def summarize_campaign(
+    outcomes: Sequence[CampaignReplicaOutcome],
+) -> CampaignSummary:
+    """Merge replica outcomes into one :class:`CampaignSummary`.
+
+    The merge is performed in replica-index order and is therefore
+    deterministic regardless of the order ``outcomes`` arrived in.
+    """
+    if not outcomes:
+        raise AnalysisError("cannot summarize an empty campaign")
+    ordered = sorted(outcomes, key=lambda o: o.index)
+    indices = [o.index for o in ordered]
+    if indices != list(range(len(ordered))):
+        raise AnalysisError(
+            f"replica outcomes are not a dense index range: {indices!r}"
+        )
+    injected: dict[str, int] = {}
+    attributed: dict[str, int] = {}
+    digest = hashlib.sha256()
+    total_injected = total_attributed = verdicts = events = 0
+    for outcome in ordered:
+        for mechanism, count in outcome.injected_by_mechanism:
+            injected[mechanism] = injected.get(mechanism, 0) + count
+        for mechanism, count in outcome.attributed_by_mechanism:
+            attributed[mechanism] = attributed.get(mechanism, 0) + count
+        total_injected += outcome.faults_injected
+        total_attributed += outcome.faults_attributed
+        verdicts += outcome.verdicts_emitted
+        events += outcome.events_simulated
+        for mechanism, target, at_us in outcome.plan_events:
+            digest.update(
+                f"{outcome.index}|{mechanism}|{target}|{at_us}\n".encode()
+            )
+    return CampaignSummary(
+        replicas=len(ordered),
+        faults_injected=total_injected,
+        faults_attributed=total_attributed,
+        injected_by_mechanism=tuple(sorted(injected.items())),
+        attributed_by_mechanism=tuple(sorted(attributed.items())),
+        verdicts_emitted=verdicts,
+        events_simulated=events,
+        plan_digest=digest.hexdigest(),
+    )

@@ -1,0 +1,45 @@
+"""Parallel execution runtime for campaigns and fleet studies.
+
+The :mod:`repro.runtime` package is the scaling substrate of the repro:
+it fans independent simulation replicas out over a spawn-safe
+``multiprocessing`` worker pool while keeping every statistical result
+**bit-identical** to a serial run.
+
+Design contract
+---------------
+* Every replica draws its randomness from a child of one root
+  :class:`numpy.random.SeedSequence`, keyed by the replica *index* alone
+  (:mod:`repro.runtime.seeds`).  Worker count, chunking and scheduling
+  order therefore cannot perturb any replica's stream.
+* The reduce step consumes replica results sorted by index, so the
+  aggregate is a pure function of ``(root_seed, specs)``.
+* Work is submitted in chunks; a crashed worker process only costs the
+  chunks in flight, which are retried on a fresh pool and, as a last
+  resort, executed serially in the parent.
+
+See ``docs/parallel_runtime.md`` for the full scheme.
+"""
+
+from repro.runtime.metrics import RunMetrics
+from repro.runtime.runner import (
+    ParallelCampaignRunner,
+    ReplicaResult,
+    ReplicaTask,
+    RunOutcome,
+)
+from repro.runtime.seeds import (
+    replica_rng,
+    replica_sequence,
+    replica_state_seed,
+)
+
+__all__ = [
+    "ParallelCampaignRunner",
+    "ReplicaResult",
+    "ReplicaTask",
+    "RunMetrics",
+    "RunOutcome",
+    "replica_rng",
+    "replica_sequence",
+    "replica_state_seed",
+]

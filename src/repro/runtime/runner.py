@@ -1,0 +1,270 @@
+"""Spawn-safe parallel replica runner with deterministic reduce.
+
+:class:`ParallelCampaignRunner` fans N independent replicas of a
+simulation task out over a ``multiprocessing`` worker pool (``spawn``
+start method, so it behaves identically on Linux/macOS/Windows and never
+inherits a half-initialised interpreter via ``fork``) and merges the
+results into one aggregate.
+
+Determinism contract
+--------------------
+The aggregate is a pure function of ``(root_seed, specs)``:
+
+* each replica's randomness derives from
+  :func:`repro.runtime.seeds.replica_sequence` keyed by the replica
+  index — never by worker id, chunk id or completion order;
+* results are collected keyed by index and handed to the reduce
+  callable sorted by index.
+
+Hence ``workers=1`` and ``workers=64`` produce bit-identical aggregates,
+which the test suite asserts (``tests/runtime/``).
+
+Fault tolerance
+---------------
+Work is submitted in chunks.  A worker crash (OOM-kill, segfault in a
+native extension) breaks the whole pool; the runner catches that,
+rebuilds the pool and resubmits only the chunks that never reported a
+result — up to ``max_retries`` times, after which the survivors run
+serially in the parent process so a run always completes.
+
+The task callable must be defined at module top level (spawn pickles it
+by reference) and must accept one :class:`ReplicaTask` argument.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from collections.abc import Callable, Sequence
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.runtime.metrics import RunMetrics
+from repro.runtime.seeds import replica_rng, replica_sequence, replica_state_seed
+
+#: Hard ceiling on worker processes (guards against misconfiguration).
+MAX_WORKERS = 64
+
+
+@dataclass(frozen=True, slots=True)
+class ReplicaTask:
+    """One unit of work: replica index, root seed and the task spec."""
+
+    index: int
+    root_seed: int
+    spec: Any = None
+
+    def sequence(self) -> np.random.SeedSequence:
+        """This replica's independent seed sequence."""
+        return replica_sequence(self.root_seed, self.index)
+
+    def rng(self) -> np.random.Generator:
+        """A fresh generator on this replica's stream."""
+        return replica_rng(self.root_seed, self.index)
+
+    def state_seed(self) -> int:
+        """Scalar seed for ``seed: int`` APIs (cluster presets)."""
+        return replica_state_seed(self.root_seed, self.index)
+
+
+@dataclass(frozen=True, slots=True)
+class ReplicaResult:
+    """Outcome of one replica plus execution accounting."""
+
+    index: int
+    value: Any
+    events: int
+    elapsed_s: float
+    worker: str
+
+
+@dataclass(frozen=True, slots=True)
+class RunOutcome:
+    """Reduced aggregate plus per-replica results and run metrics."""
+
+    value: Any
+    results: tuple[ReplicaResult, ...]
+    metrics: RunMetrics
+
+    def values(self) -> list[Any]:
+        """Replica values in index order."""
+        return [r.value for r in self.results]
+
+
+def _execute_chunk(
+    task: Callable[[ReplicaTask], Any], tasks: list[ReplicaTask]
+) -> list[ReplicaResult]:
+    """Run one chunk of replicas; top-level so spawn can pickle it."""
+    worker = f"pid-{os.getpid()}"
+    out: list[ReplicaResult] = []
+    for replica in tasks:
+        t0 = time.perf_counter()
+        value = task(replica)
+        elapsed = time.perf_counter() - t0
+        events = int(getattr(value, "events_simulated", 0) or 0)
+        out.append(
+            ReplicaResult(
+                index=replica.index,
+                value=value,
+                events=events,
+                elapsed_s=elapsed,
+                worker=worker,
+            )
+        )
+    return out
+
+
+class ParallelCampaignRunner:
+    """Deterministic map/reduce over independent simulation replicas.
+
+    Parameters
+    ----------
+    task:
+        Module-level callable ``task(replica: ReplicaTask) -> value``.
+        If the returned value exposes an ``events_simulated`` attribute
+        it feeds the throughput metrics.
+    reduce:
+        Optional ``reduce(values_in_index_order) -> aggregate``.  Must be
+        order-deterministic; it always receives values sorted by replica
+        index.  Defaults to returning the tuple of values.
+    workers:
+        Worker processes.  ``1`` (default) runs serially in-process —
+        no pool, no pickling, the exact same code path a single replica
+        takes inside a worker.
+    chunk_size:
+        Replicas per submitted chunk.  Defaults to a size that yields
+        roughly four chunks per worker (amortises submission overhead
+        while keeping crash blast radius and tail latency small).
+    max_retries:
+        Pool rebuilds allowed after worker crashes before the remaining
+        chunks fall back to serial execution in the parent.
+    """
+
+    def __init__(
+        self,
+        task: Callable[[ReplicaTask], Any],
+        reduce: Callable[[list[Any]], Any] | None = None,
+        *,
+        workers: int = 1,
+        chunk_size: int | None = None,
+        max_retries: int = 2,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if workers > MAX_WORKERS:
+            raise ValueError(f"workers must be <= {MAX_WORKERS}, got {workers}")
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        self.task = task
+        self.reduce = reduce
+        self.workers = workers
+        self.chunk_size = chunk_size
+        self.max_retries = max_retries
+
+    # -- public API -------------------------------------------------------
+
+    def run(self, specs: Sequence[Any], root_seed: int = 0) -> RunOutcome:
+        """Execute one replica per spec; reduce deterministically.
+
+        ``specs[i]`` becomes replica ``i`` with seed stream
+        ``SeedSequence(root_seed, spawn_key=(i,))``.  Pass ``range(n)``
+        (or ``[spec] * n``) for homogeneous campaigns.
+        """
+        tasks = [
+            ReplicaTask(index=i, root_seed=int(root_seed), spec=spec)
+            for i, spec in enumerate(specs)
+        ]
+        chunk_size = self._effective_chunk_size(len(tasks))
+        t0 = time.perf_counter()
+        if self.workers == 1 or len(tasks) <= 1:
+            results = _execute_chunk(self.task, tasks)
+            retries = 0
+        else:
+            results, retries = self._run_pool(tasks, chunk_size)
+        wall = time.perf_counter() - t0
+
+        results.sort(key=lambda r: r.index)
+        if [r.index for r in results] != list(range(len(tasks))):
+            raise SimulationError(
+                "runner lost replicas: expected "
+                f"{len(tasks)}, got indices {[r.index for r in results]!r}"
+            )
+        busy: dict[str, float] = {}
+        for r in results:
+            busy[r.worker] = busy.get(r.worker, 0.0) + r.elapsed_s
+        metrics = RunMetrics.from_results(
+            replicas=len(tasks),
+            workers=self.workers,
+            chunk_size=chunk_size,
+            wall_time_s=wall,
+            retries=retries,
+            events=[r.events for r in results],
+            busy_by_worker=busy,
+        )
+        values = [r.value for r in results]
+        value = self.reduce(values) if self.reduce is not None else tuple(values)
+        return RunOutcome(value=value, results=tuple(results), metrics=metrics)
+
+    # -- internals --------------------------------------------------------
+
+    def _effective_chunk_size(self, n: int) -> int:
+        if self.chunk_size is not None:
+            return self.chunk_size
+        if n == 0:
+            return 1
+        target_chunks = 4 * self.workers
+        return max(1, -(-n // target_chunks))
+
+    def _run_pool(
+        self, tasks: list[ReplicaTask], chunk_size: int
+    ) -> tuple[list[ReplicaResult], int]:
+        chunks: dict[int, list[ReplicaTask]] = {
+            cid: tasks[lo : lo + chunk_size]
+            for cid, lo in enumerate(range(0, len(tasks), chunk_size))
+        }
+        results: list[ReplicaResult] = []
+        pending = dict(chunks)
+        retries = 0
+        attempts = 0
+        while pending and attempts <= self.max_retries:
+            if attempts > 0:
+                retries += len(pending)
+            attempts += 1
+            ctx = multiprocessing.get_context("spawn")
+            executor = ProcessPoolExecutor(
+                max_workers=min(self.workers, len(pending)), mp_context=ctx
+            )
+            try:
+                futures = {
+                    executor.submit(_execute_chunk, self.task, chunk): cid
+                    for cid, chunk in pending.items()
+                }
+                not_done = set(futures)
+                while not_done:
+                    done, not_done = wait(
+                        not_done, return_when=FIRST_COMPLETED
+                    )
+                    for future in done:
+                        cid = futures[future]
+                        results.extend(future.result())
+                        pending.pop(cid)
+            except (BrokenProcessPool, OSError):
+                # A worker died mid-flight.  Chunks already popped are
+                # safe; everything still pending is resubmitted on a
+                # fresh pool next iteration.
+                pass
+            finally:
+                executor.shutdown(wait=False, cancel_futures=True)
+        if pending:
+            # Last resort: finish in the parent so the run completes.
+            for cid in sorted(pending):
+                results.extend(_execute_chunk(self.task, pending[cid]))
+        return results, retries

@@ -1,0 +1,111 @@
+"""Spawn-picklable replica workloads for the parallel runner.
+
+Each function here is a module-level ``task(replica: ReplicaTask)``
+suitable for :class:`repro.runtime.runner.ParallelCampaignRunner`: it
+receives the replica's private seed stream, builds its own fresh
+cluster, runs the simulation and returns a plain-data outcome that
+pickles cheaply back to the parent.
+
+Heavier orchestration (the scenario catalogue, the diagnosed fleet)
+lives next to its serial implementation in
+:mod:`repro.analysis.scenarios` and :mod:`repro.analysis.fleet_sim`;
+this module hosts the generic stochastic-campaign replica shared by the
+CLI, the equivalence tests and the scaling benchmarks.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.scenarios import predicted_class_for
+from repro.diagnosis.diag_das import DiagnosticService
+from repro.faults.campaign import (
+    CampaignReplicaOutcome,
+    CampaignReplicaSpec,
+    CampaignSummary,
+    RandomCampaign,
+    summarize_campaign,
+)
+from repro.faults.injector import FaultInjector
+from repro.presets import figure10_cluster
+from repro.runtime.runner import ParallelCampaignRunner, ReplicaTask, RunOutcome
+
+
+def run_campaign_replica(replica: ReplicaTask) -> CampaignReplicaOutcome:
+    """One Monte-Carlo campaign replica on a fresh Fig. 10 cluster.
+
+    The cluster's internal named streams are seeded from the replica's
+    state seed and the campaign sampling from the replica's generator —
+    both derive from ``(root_seed, index)`` alone, so the outcome is
+    reproducible independent of where or when the replica executes.
+    """
+    spec = replica.spec if replica.spec is not None else CampaignReplicaSpec()
+    parts = figure10_cluster(seed=replica.state_seed())
+    cluster = parts.cluster
+    service = DiagnosticService(
+        cluster, collector="comp5", window_points=12_000
+    )
+    injector = FaultInjector(cluster)
+    campaign = RandomCampaign(
+        injector,
+        expected_faults=spec.expected_faults,
+        horizon_us=spec.horizon_us,
+        sensor_jobs=spec.sensor_jobs,
+        software_jobs=spec.software_jobs,
+        config_ports=spec.config_ports,
+    )
+    plan = campaign.run(replica.rng())
+    cluster.run(spec.horizon_us + spec.settle_us)
+    verdicts = service.verdicts()
+
+    injected: dict[str, int] = {}
+    attributed: dict[str, int] = {}
+    correct = 0
+    for (mechanism, _target, _at), descriptor in zip(
+        plan.events, plan.descriptors
+    ):
+        injected[mechanism] = injected.get(mechanism, 0) + 1
+        predicted = predicted_class_for(
+            descriptor, verdicts, cluster.job_location
+        )
+        if predicted is descriptor.fault_class:
+            attributed[mechanism] = attributed.get(mechanism, 0) + 1
+            correct += 1
+    return CampaignReplicaOutcome(
+        index=replica.index,
+        plan_events=plan.events,
+        injected_by_mechanism=tuple(sorted(injected.items())),
+        attributed_by_mechanism=tuple(sorted(attributed.items())),
+        faults_injected=len(plan.events),
+        faults_attributed=correct,
+        verdicts_emitted=len(verdicts),
+        events_simulated=cluster.sim.events_processed,
+    )
+
+
+def _reduce_campaign(values: list[CampaignReplicaOutcome]) -> CampaignSummary:
+    return summarize_campaign(values)
+
+
+def run_random_campaigns(
+    replicas: int,
+    root_seed: int = 0,
+    spec: CampaignReplicaSpec | None = None,
+    *,
+    workers: int = 1,
+    chunk_size: int | None = None,
+) -> RunOutcome:
+    """Run ``replicas`` independent stochastic campaigns.
+
+    Returns a :class:`~repro.runtime.runner.RunOutcome` whose ``value``
+    is the deterministic :class:`CampaignSummary` aggregate — identical
+    for every ``workers`` setting given the same ``root_seed``.
+    """
+    if replicas < 1:
+        raise ValueError(f"replicas must be >= 1, got {replicas}")
+    runner = ParallelCampaignRunner(
+        run_campaign_replica,
+        _reduce_campaign,
+        workers=workers,
+        chunk_size=chunk_size,
+    )
+    spec = spec if spec is not None else CampaignReplicaSpec()
+    return runner.run([spec] * replicas, root_seed=root_seed)

@@ -10,10 +10,33 @@ fact about the cluster at a point of the sparse time base.
 
 from __future__ import annotations
 
+import hashlib
 from collections import Counter
 from collections.abc import Callable, Iterator, Mapping
 from dataclasses import dataclass, field
 from typing import Any
+
+
+def _canonical_value(value: Any) -> str:
+    """Platform-stable string form of a trace payload value.
+
+    Floats use ``repr`` of the Python float (shortest round-trip form,
+    identical across CPython versions and platforms for IEEE doubles);
+    NumPy scalars are unwrapped first so their version-dependent ``repr``
+    never leaks into digests.
+    """
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, float):
+        return repr(value)
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, str):
+        return value
+    item = getattr(value, "item", None)
+    if item is not None:  # numpy scalar
+        return _canonical_value(item())
+    return repr(value)
 
 
 @dataclass(frozen=True, slots=True)
@@ -123,3 +146,33 @@ class TraceRecorder:
         """Drop all records (e.g. after a warm-up phase)."""
         self._records.clear()
         self._kind_counts.clear()
+
+    # -- determinism contract ---------------------------------------------
+
+    def canonical_lines(self) -> Iterator[str]:
+        """One stable text line per record, in recording order.
+
+        ``time kind source k=v ...`` with data keys sorted and values
+        canonicalised — the normal form the golden-trace regression test
+        hashes.  Two simulations are trace-equivalent iff these lines
+        match.
+        """
+        for rec in self._records:
+            payload = " ".join(
+                f"{key}={_canonical_value(rec.data[key])}"
+                for key in sorted(rec.data)
+            )
+            yield f"{rec.time} {rec.kind} {rec.source} {payload}".rstrip()
+
+    def digest(self) -> str:
+        """SHA-256 hex digest over :meth:`canonical_lines`.
+
+        This is the engine's determinism contract in one value: same
+        seed, same cluster, same horizon ⇒ same digest — across runs,
+        processes and Python versions.
+        """
+        h = hashlib.sha256()
+        for line in self.canonical_lines():
+            h.update(line.encode("utf-8"))
+            h.update(b"\n")
+        return h.hexdigest()

@@ -1,0 +1,90 @@
+"""Golden-trace regression test for the determinism contract.
+
+The engine docstring promises: same seed, same cluster, same horizon ⇒
+identical event orderings.  This test pins that promise to a concrete
+artefact: the Fig. 10 reference scenario below must reproduce the exact
+trace digest snapshotted in ``tests/data/golden_trace_figure10.json``.
+
+If this test fails, either (a) a change broke determinism — fix it — or
+(b) a deliberate semantic change altered the reference trace.  Only in
+case (b), regenerate the snapshot and review the diff of the summary
+fields:
+
+    PYTHONPATH=src python -c \
+      "from tests.integration.test_golden_trace import regenerate; regenerate()"
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.diagnosis.diag_das import DiagnosticService
+from repro.faults.injector import FaultInjector
+from repro.presets import figure10_cluster
+from repro.units import ms
+
+GOLDEN_PATH = Path(__file__).parent.parent / "data" / "golden_trace_figure10.json"
+
+#: Frozen reference scenario — never change these without regenerating.
+SEED = 2026
+HORIZON_US = ms(400)
+
+
+def _run_reference_scenario():
+    """The pinned scenario: one permanent fault, 400 ms, seed 2026."""
+    parts = figure10_cluster(seed=SEED)
+    cluster = parts.cluster
+    DiagnosticService(cluster, collector="comp5")
+    FaultInjector(cluster).inject_permanent_internal("comp2", at_us=ms(100))
+    cluster.run(HORIZON_US)
+    return cluster
+
+
+def _snapshot(cluster) -> dict:
+    return {
+        "scenario": "figure10+permanent-comp2",
+        "seed": SEED,
+        "horizon_us": HORIZON_US,
+        "digest": cluster.trace.digest(),
+        "records": len(cluster.trace),
+        "events_processed": cluster.sim.events_processed,
+        "kinds": dict(sorted(cluster.trace.kinds().items())),
+    }
+
+
+def regenerate() -> None:
+    """Rewrite the golden snapshot from the current implementation."""
+    snapshot = _snapshot(_run_reference_scenario())
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    GOLDEN_PATH.write_text(
+        json.dumps(snapshot, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    print(f"regenerated {GOLDEN_PATH}: digest {snapshot['digest']}")
+
+
+def test_reference_trace_matches_golden_digest():
+    golden = json.loads(GOLDEN_PATH.read_text(encoding="utf-8"))
+    snapshot = _snapshot(_run_reference_scenario())
+    # Compare the coarse fields first for a readable failure, the
+    # digest last as the exhaustive check.
+    assert snapshot["records"] == golden["records"]
+    assert snapshot["events_processed"] == golden["events_processed"]
+    assert snapshot["kinds"] == golden["kinds"]
+    assert snapshot["digest"] == golden["digest"]
+
+
+def test_trace_digest_is_run_to_run_stable():
+    a = _run_reference_scenario().trace
+    b = _run_reference_scenario().trace
+    assert a.digest() == b.digest()
+    assert list(a.canonical_lines()) == list(b.canonical_lines())
+
+
+def test_canonical_lines_are_plain_text():
+    """No numpy reprs or unsorted dicts may leak into the normal form."""
+    cluster = _run_reference_scenario()
+    for line in cluster.trace.canonical_lines():
+        assert "np." not in line  # no numpy scalar repr
+        assert "array(" not in line
+        assert "\n" not in line

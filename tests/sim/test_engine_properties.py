@@ -1,0 +1,106 @@
+"""Property-based tests for the DES kernel's ordering contracts.
+
+The engine docstring promises: ties break by (time, priority, insertion
+order), time never moves backwards, and cancelled events never fire.
+These are the invariants every layer above (TTA schedule, fault
+injection, diagnosis epochs) silently relies on, so we let hypothesis
+search for counterexamples instead of hand-picking cases.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import Simulator
+
+#: Priority bands actually used by the stack.
+PRIORITIES = (0, 10, 20, 30, 50)
+
+#: Unique (time, priority) keys — with distinct keys the engine's order
+#: is fully determined, so insertion order must not matter.
+unique_keys = st.lists(
+    st.tuples(st.integers(0, 40), st.sampled_from(PRIORITIES)),
+    unique=True,
+    min_size=1,
+    max_size=24,
+)
+
+
+def _execution_order(keys: list[tuple[int, int]]) -> list[tuple[int, int]]:
+    sim = Simulator()
+    fired: list[tuple[int, int]] = []
+    for time, priority in keys:
+        sim.schedule_at(
+            time,
+            (lambda t, p: lambda s: fired.append((t, p)))(time, priority),
+            priority=priority,
+        )
+    sim.run_until(1_000)
+    return fired
+
+
+@settings(max_examples=60, deadline=None)
+@given(keys=unique_keys, data=st.data())
+def test_order_invariant_under_insertion_order(keys, data):
+    """Same-time events run in priority order however they were added."""
+    shuffled = data.draw(st.permutations(keys))
+    assert _execution_order(keys) == _execution_order(list(shuffled))
+    assert _execution_order(keys) == sorted(keys)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    events=st.lists(
+        st.tuples(st.integers(0, 80), st.integers(0, 20)),
+        min_size=1,
+        max_size=16,
+    ),
+    horizons=st.lists(st.integers(0, 40), min_size=1, max_size=6),
+)
+def test_run_until_never_moves_time_backwards(events, horizons):
+    """``now`` is non-decreasing through chained run_until calls, and
+    callbacks (including self-scheduled follow-ups) observe it so."""
+    sim = Simulator()
+    observed: list[int] = []
+
+    def make(follow_up_delay):
+        def callback(s):
+            observed.append(s.now)
+            if follow_up_delay % 3 == 0:  # some events re-schedule
+                s.schedule_in(follow_up_delay, lambda s2: observed.append(s2.now))
+
+        return callback
+
+    for time, delay in events:
+        sim.schedule_at(time, make(delay))
+
+    horizon = 0
+    for step in horizons:
+        horizon += step
+        sim.run_until(horizon)
+        assert sim.now == horizon
+    assert observed == sorted(observed)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    times=st.lists(st.integers(0, 50), min_size=1, max_size=20),
+    data=st.data(),
+)
+def test_cancelled_events_never_fire(times, data):
+    """A cancelled handle never fires; everything else always does."""
+    sim = Simulator()
+    fired: list[int] = []
+    handles = [
+        sim.schedule_at(t, (lambda i: lambda s: fired.append(i))(i))
+        for i, t in enumerate(times)
+    ]
+    cancelled = data.draw(
+        st.sets(st.integers(0, len(times) - 1), max_size=len(times))
+    )
+    for i in cancelled:
+        sim.cancel(handles[i])
+    sim.run_until(1_000)
+    assert sorted(fired) == sorted(set(range(len(times))) - cancelled)
+    assert sim.pending == 0

@@ -40,3 +40,54 @@ def test_demo_command(capsys):
     out = capsys.readouterr().out
     assert "component:comp2" in out
     assert "replace component" in out
+
+
+def test_mc_command_writes_metrics(capsys, tmp_path):
+    metrics_path = tmp_path / "out" / "mc.json"
+    assert (
+        main(
+            [
+                "--seed",
+                "11",
+                "--metrics-json",
+                str(metrics_path),
+                "mc",
+                "--replicas",
+                "3",
+                "--horizon-ms",
+                "400",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "Monte-Carlo campaign" in out
+    assert "attribution accuracy" in out
+    assert "events/s" in out
+    import json
+
+    record = json.loads(metrics_path.read_text(encoding="utf-8"))
+    assert record["replicas"] == 3
+    assert record["workers"] == 1
+
+
+def test_fleet_command(capsys):
+    assert (
+        main(
+            [
+                "--seed",
+                "21",
+                "fleet",
+                "--vehicles",
+                "3",
+                "--drive-ms",
+                "300",
+                "--fault-prob",
+                "0.7",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "Fleet of 3" in out
+    assert "replicas, workers=1" in out

@@ -1,0 +1,221 @@
+"""Observability overhead bench — the price of the tracer, on and off.
+
+Two measurements, two contracts:
+
+1. **Tracer-disabled dispatch overhead (<5%, hard-asserted).**  The hot
+   loop of the whole codebase is :meth:`Simulator.run_until`; the obs
+   hook there is one module-attribute read plus one branch, bound once
+   per run.  This bench times event dispatch against a hook-free copy
+   of the kernel loop and asserts the instrumented-but-disabled path
+   costs <5% — the acceptance contract for shipping the hooks enabled
+   in production builds.
+
+2. **Enabled-path cost on the A10 campaign (reported, regression-gated
+   loosely).**  Running the stochastic campaign with counters only and
+   with full tracing is *expected* to cost real time (dict increments
+   and record allocation per symptom/epoch); the bench records the
+   ratios in ``benchmarks/out/BENCH_obs_overhead.json`` so the
+   trajectory is visible, and only guards against pathological
+   regressions (full tracing must stay under 2x).
+
+Replica count is tunable via ``REPRO_BENCH_OBS_REPLICAS`` (default 8:
+the bench favours a fast signal; the ratios are stable well below the
+200-replica campaign used by ``bench_parallel``).
+"""
+
+from __future__ import annotations
+
+import heapq
+import os
+import time
+
+from repro.analysis.reports import render_table
+from repro.errors import SchedulingError, SimulationError
+from repro.faults.campaign import CampaignReplicaSpec
+from repro.runtime.workloads import run_random_campaigns
+from repro.sim.engine import Simulator
+from repro.units import ms
+
+from benchmarks._util import emit, once
+
+REPLICAS = int(os.environ.get("REPRO_BENCH_OBS_REPLICAS", "8"))
+ROOT_SEED = 3
+HORIZON_US = ms(300)
+REPEATS = 3
+
+DISPATCH_EVENTS = 200_000
+DISPATCH_REPEATS = 7
+
+
+class _HookFreeSimulator(Simulator):
+    """The kernel loop exactly as shipped, minus the obs hook.
+
+    Serves as the pre-instrumentation baseline the <5% contract is
+    measured against.  Kept in the bench (not the package) on purpose:
+    production code has no business shipping an unobservable kernel.
+    """
+
+    def run_until(self, horizon: int, *, max_events: int | None = None) -> None:
+        horizon = int(horizon)
+        if horizon < self._now:
+            raise SchedulingError(
+                f"horizon {horizon} is before current time {self._now}"
+            )
+        if self._running:
+            raise SimulationError("run_until is not reentrant")
+        self._running = True
+        executed = 0
+        try:
+            while self._heap:
+                time_, _priority, seq, event = self._heap[0]
+                if time_ > horizon:
+                    break
+                heapq.heappop(self._heap)
+                if seq in self._cancelled:
+                    self._cancelled.discard(seq)
+                    continue
+                self._now = time_
+                self._events_processed += 1
+                executed += 1
+                if max_events is not None and executed > max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events} before horizon"
+                    )
+                event.callback(self)
+            self._now = horizon
+        finally:
+            self._running = False
+
+
+def _time_dispatch(simulator_cls) -> float:
+    """Wall time to dispatch ``DISPATCH_EVENTS`` no-op events."""
+    sim = simulator_cls()
+    callback = lambda s: None  # noqa: E731 - the cheapest possible event
+    for t in range(DISPATCH_EVENTS):
+        sim.schedule_at(t, callback)
+    start = time.perf_counter()
+    sim.run_until(DISPATCH_EVENTS)
+    elapsed = time.perf_counter() - start
+    assert sim.events_processed == DISPATCH_EVENTS
+    return elapsed
+
+
+def _measure_dispatch_overhead():
+    """Interleaved min-of-N timings: hook-free vs tracer-disabled."""
+    baseline, instrumented = [], []
+    for _ in range(DISPATCH_REPEATS):
+        baseline.append(_time_dispatch(_HookFreeSimulator))
+        instrumented.append(_time_dispatch(Simulator))
+    return min(baseline), min(instrumented)
+
+
+def test_tracer_disabled_dispatch_overhead(benchmark):
+    """THE acceptance gate: the disabled hook path costs <5%."""
+    base_s, inst_s = once(benchmark, _measure_dispatch_overhead)
+    overhead = inst_s / base_s - 1.0
+    emit(
+        "BENCH_obs_dispatch",
+        render_table(
+            ["kernel", "events", "min wall [s]", "overhead"],
+            [
+                ["hook-free", f"{DISPATCH_EVENTS:,}", f"{base_s:.4f}", "-"],
+                [
+                    "tracer disabled",
+                    f"{DISPATCH_EVENTS:,}",
+                    f"{inst_s:.4f}",
+                    f"{overhead:+.2%}",
+                ],
+            ],
+            title=(
+                f"Tracer-disabled dispatch path: {overhead:+.2%} "
+                f"(contract: <5%), min of {DISPATCH_REPEATS}"
+            ),
+        ),
+        data={
+            "events": DISPATCH_EVENTS,
+            "repeats": DISPATCH_REPEATS,
+            "hook_free_s": round(base_s, 6),
+            "tracer_disabled_s": round(inst_s, 6),
+            "overhead": round(overhead, 4),
+        },
+    )
+    assert overhead < 0.05, (
+        f"tracer-disabled dispatch overhead {overhead:+.2%} breaches the "
+        "<5% contract — the hook is no longer one branch per run"
+    )
+
+
+def _campaign(spec: CampaignReplicaSpec):
+    return run_random_campaigns(
+        REPLICAS, root_seed=ROOT_SEED, spec=spec, workers=1
+    )
+
+
+def _measure_campaign_modes():
+    """Min-of-REPEATS wall time per obs mode, plus the last summaries."""
+    modes = {
+        "off": CampaignReplicaSpec(expected_faults=3.0, horizon_us=HORIZON_US),
+        "counters": CampaignReplicaSpec(
+            expected_faults=3.0, horizon_us=HORIZON_US, obs_enabled=True
+        ),
+        "trace": CampaignReplicaSpec(
+            expected_faults=3.0,
+            horizon_us=HORIZON_US,
+            obs_enabled=True,
+            obs_trace=True,
+        ),
+    }
+    walls: dict[str, float] = {}
+    summaries = {}
+    for name, spec in modes.items():
+        runs = [_campaign(spec) for _ in range(REPEATS)]
+        walls[name] = min(run.metrics.wall_time_s for run in runs)
+        summaries[name] = runs[-1].value
+    return walls, summaries
+
+
+def test_obs_campaign_overhead(benchmark):
+    """Record the enabled-path cost; guard only against blow-ups."""
+    walls, summaries = once(benchmark, _measure_campaign_modes)
+    counters_ratio = walls["counters"] / walls["off"]
+    trace_ratio = walls["trace"] / walls["off"]
+    # Observation must never perturb the experiment it observes.
+    assert (
+        summaries["off"].plan_digest
+        == summaries["counters"].plan_digest
+        == summaries["trace"].plan_digest
+    )
+    assert (
+        summaries["off"].events_simulated
+        == summaries["counters"].events_simulated
+        == summaries["trace"].events_simulated
+    )
+    emit(
+        "BENCH_obs_overhead",
+        render_table(
+            ["mode", "min wall [s]", "vs off"],
+            [
+                ["off", f"{walls['off']:.3f}", "1.00x"],
+                ["counters", f"{walls['counters']:.3f}", f"{counters_ratio:.2f}x"],
+                ["full trace", f"{walls['trace']:.3f}", f"{trace_ratio:.2f}x"],
+            ],
+            title=(
+                f"Obs overhead on the A10 campaign: {REPLICAS} replicas, "
+                f"{summaries['off'].events_simulated:,} events, "
+                f"min of {REPEATS}"
+            ),
+        ),
+        data={
+            "replicas": REPLICAS,
+            "root_seed": ROOT_SEED,
+            "horizon_us": HORIZON_US,
+            "repeats": REPEATS,
+            "wall_s": {k: round(v, 4) for k, v in walls.items()},
+            "counters_ratio": round(counters_ratio, 3),
+            "trace_ratio": round(trace_ratio, 3),
+            "events_simulated": summaries["off"].events_simulated,
+        },
+    )
+    assert trace_ratio < 2.0, (
+        f"full tracing costs {trace_ratio:.2f}x — pathological regression"
+    )

@@ -21,10 +21,19 @@ Commands
 ``bathtub``
     Print the Fig. 7 bathtub curve as an ASCII series.
 
+``obs report PATH``
+    Validate a recorded JSONL obs trace and render its summary.
+
 Campaign-style commands accept ``--workers N`` to fan replicas out over
 the spawn-safe process pool (bit-identical results to ``--workers 1``;
 see ``docs/parallel_runtime.md``) and ``--metrics-json PATH`` to write
 the structured run-metrics record.
+
+Observability flags (``docs/observability.md``): ``--trace PATH`` writes
+a schema-v1 JSONL obs trace of the run (for ``mc`` the parent aggregates
+replica-tagged records in index order and appends the merged counter
+totals); ``--profile`` prints a per-subsystem wall-time breakdown.  All
+global flags are accepted both before and after the subcommand.
 """
 
 from __future__ import annotations
@@ -33,6 +42,46 @@ import argparse
 import sys
 
 from repro.analysis.reports import render_series, render_table
+
+
+def _emit_mc_obs(args: argparse.Namespace, outcome, summary) -> None:
+    """Write the aggregated mc trace and/or print the profile breakdown.
+
+    Replica trace records arrive in-memory through the reduce (tagged
+    with their replica index); the parent concatenates them in index
+    order, appends the merged counter totals as a ``trace.counters``
+    meta record and writes one schema-v1 JSONL file.
+    """
+    records = [
+        record
+        for result in outcome.results
+        for record in result.value.obs_trace
+    ]
+    if args.trace:
+        from repro.obs import write_jsonl
+        from repro.obs.report import counters_record
+
+        if summary.obs_counters is not None:
+            records = records + [counters_record(summary.obs_counters)]
+        path = write_jsonl(
+            args.trace,
+            records,
+            header_attrs={
+                "command": "mc",
+                "root_seed": args.seed,
+                "replicas": summary.replicas,
+                "workers": args.workers,
+            },
+        )
+        print(f"[obs trace written to {path} ({len(records)} records)]")
+    if args.profile:
+        from repro.obs import Profiler
+
+        profiler = Profiler()
+        for record in records:
+            if record.get("kind") == "span":
+                profiler.on_span(record["name"], record.get("dur_s") or 0.0)
+        print(profiler.render())
 
 
 def _emit_metrics(args: argparse.Namespace, metrics) -> None:
@@ -129,9 +178,12 @@ def cmd_mc(args: argparse.Namespace) -> int:
     from repro.runtime.workloads import run_random_campaigns
     from repro.units import ms
 
+    want_trace = bool(args.trace) or args.profile
     spec = CampaignReplicaSpec(
         expected_faults=args.expected_faults,
         horizon_us=ms(args.horizon_ms),
+        obs_enabled=want_trace,
+        obs_trace=want_trace,
     )
     print(
         f"running {args.replicas} stochastic campaigns "
@@ -141,6 +193,8 @@ def cmd_mc(args: argparse.Namespace) -> int:
         args.replicas, root_seed=args.seed, spec=spec, workers=args.workers
     )
     summary = outcome.value
+    if want_trace:
+        _emit_mc_obs(args, outcome, summary)
     print(
         render_table(
             ["mechanism", "injected", "attributed", "accuracy"],
@@ -278,41 +332,106 @@ def cmd_bathtub(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_obs(args: argparse.Namespace) -> int:
+    from repro.obs.report import render_report
+
+    if args.obs_command != "report":
+        print("usage: python -m repro obs report PATH")
+        return 2
+    print(render_report(args.path))
+    return 0
+
+
+#: Global options accepted both before and after the subcommand.
+_GLOBAL_OPTIONS: list[tuple[tuple[str, ...], dict]] = [
+    (("--seed",), {"type": int, "default": 42}),
+    (
+        ("--workers",),
+        {
+            "type": int,
+            "default": 1,
+            "help": "worker processes for campaign-style commands (default 1)",
+        },
+    ),
+    (
+        ("--metrics-json",),
+        {
+            "metavar": "PATH",
+            "default": None,
+            "help": "write the structured run-metrics record to PATH",
+        },
+    ),
+    (
+        ("--trace",),
+        {
+            "metavar": "PATH",
+            "default": None,
+            "help": "write a schema-v1 JSONL obs trace of the run to PATH",
+        },
+    ),
+    (
+        ("--profile",),
+        {
+            "action": "store_true",
+            "default": False,
+            "help": "print a per-subsystem wall-time breakdown after the run",
+        },
+    ),
+]
+
+
+def _add_global_options(
+    parser: argparse.ArgumentParser, *, suppress: bool
+) -> None:
+    """Attach the global options; ``suppress`` makes absence a no-op.
+
+    The options are declared on the main parser with their real defaults
+    and on every subparser with ``argparse.SUPPRESS`` defaults: a flag
+    given after the subcommand overrides the pre-subcommand value, while
+    an absent flag leaves it untouched.
+    """
+    for flags, spec in _GLOBAL_OPTIONS:
+        kwargs = dict(spec)
+        if suppress:
+            kwargs["default"] = argparse.SUPPRESS
+        parser.add_argument(*flags, **kwargs)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="DECOS maintenance-oriented fault model reproduction",
     )
-    parser.add_argument("--seed", type=int, default=42)
-    parser.add_argument(
-        "--workers",
-        type=int,
-        default=1,
-        help="worker processes for campaign-style commands (default 1)",
-    )
-    parser.add_argument(
-        "--metrics-json",
-        metavar="PATH",
-        default=None,
-        help="write the structured run-metrics record to PATH",
-    )
+    _add_global_options(parser, suppress=False)
     sub = parser.add_subparsers(dest="command")
-    sub.add_parser("demo", help="quickstart demo")
-    sub.add_parser("campaign", help="full classification campaign")
-    mc = sub.add_parser(
-        "mc", help="Monte-Carlo stochastic campaigns via the parallel runner"
+
+    def add_command(name: str, help_text: str) -> argparse.ArgumentParser:
+        command = sub.add_parser(name, help=help_text)
+        _add_global_options(command, suppress=True)
+        return command
+
+    add_command("demo", "quickstart demo")
+    add_command("campaign", "full classification campaign")
+    mc = add_command(
+        "mc", "Monte-Carlo stochastic campaigns via the parallel runner"
     )
     mc.add_argument("--replicas", type=int, default=20)
     mc.add_argument("--expected-faults", type=float, default=3.0)
     mc.add_argument("--horizon-ms", type=int, default=2_000)
-    fleet = sub.add_parser("fleet", help="end-to-end diagnosed fleet")
+    fleet = add_command("fleet", "end-to-end diagnosed fleet")
     fleet.add_argument("--vehicles", type=int, default=10)
     fleet.add_argument("--fault-prob", type=float, default=0.6)
     fleet.add_argument("--drive-ms", type=int, default=2_000)
-    scenario = sub.add_parser("scenario", help="run one named scenario")
+    scenario = add_command("scenario", "run one named scenario")
     scenario.add_argument("name")
-    sub.add_parser("list", help="list the scenario catalogue")
-    sub.add_parser("bathtub", help="print the Fig. 7 curve")
+    add_command("list", "list the scenario catalogue")
+    add_command("bathtub", "print the Fig. 7 curve")
+    obs_cmd = sub.add_parser("obs", help="observability artefact tools")
+    obs_sub = obs_cmd.add_subparsers(dest="obs_command")
+    report = obs_sub.add_parser(
+        "report", help="validate and summarize a JSONL obs trace"
+    )
+    report.add_argument("path")
     args = parser.parse_args(argv)
     commands = {
         "demo": cmd_demo,
@@ -322,11 +441,42 @@ def main(argv: list[str] | None = None) -> int:
         "scenario": cmd_scenario,
         "list": cmd_list,
         "bathtub": cmd_bathtub,
+        "obs": cmd_obs,
     }
     if args.command is None:
         parser.print_help()
         return 1
-    return commands[args.command](args)
+    if args.command in ("obs", "mc") or not (
+        getattr(args, "trace", None) or getattr(args, "profile", False)
+    ):
+        return commands[args.command](args)
+    return _run_observed(commands[args.command], args)
+
+
+def _run_observed(command, args: argparse.Namespace) -> int:
+    """Run a serial command under a process-wide obs context.
+
+    ``mc`` manages observability per replica instead (worker processes
+    cannot see the parent's context); every other command runs in-process,
+    so one activated context captures its whole execution.
+    """
+    from repro import obs as obs_api
+    from repro.obs.report import counters_record
+
+    o = obs_api.Observability(profile=args.profile)
+    with obs_api.activated(o):
+        rc = command(args)
+    if args.trace:
+        records = o.trace_dicts() + [counters_record(o.snapshot())]
+        path = obs_api.write_jsonl(
+            args.trace,
+            records,
+            header_attrs={"command": args.command, "root_seed": args.seed},
+        )
+        print(f"[obs trace written to {path} ({len(records)} records)]")
+    if args.profile and o.profiler is not None:
+        print(o.profiler.render())
+    return rc
 
 
 if __name__ == "__main__":

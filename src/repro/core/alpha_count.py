@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.errors import ConfigurationError
+from repro.obs import state as _obs
 
 
 @dataclass(slots=True)
@@ -104,7 +105,25 @@ class AlphaCountBank:
 
     def observe(self, fru: str, failed: bool, now_us: int = 0) -> AlphaCount:
         ac = self.count(fru)
+        was_triggered = ac.triggered
         ac.observe(failed, now_us)
+        obs = _obs.ACTIVE
+        if obs.enabled:
+            obs.counters.inc("alpha.observations")
+            if failed:
+                obs.counters.inc("alpha.failures")
+            if ac.triggered and not was_triggered:
+                # A promotion: the score crossed the threshold — the FRU
+                # moved from "sporadic transients" to "recurring fault".
+                obs.counters.inc("alpha.promotions")
+                obs.tracer.event(
+                    "alpha.promotion",
+                    t_sim_us=now_us,
+                    fru=fru,
+                    score=ac.score,
+                    threshold=ac.threshold,
+                    failures_seen=ac.failures_seen,
+                )
         return ac
 
     def triggered(self) -> list[str]:

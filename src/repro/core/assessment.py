@@ -38,6 +38,7 @@ from repro.core.ona import (
 )
 from repro.core.symptoms import Symptom, SymptomType
 from repro.core.trust import TrustBank
+from repro.obs import state as _obs
 from repro.tta.time_base import SparseTimeBase
 
 
@@ -101,6 +102,10 @@ class DiagnosticAssessment:
         self.symptoms_deduplicated = 0
         self.epochs_run = 0
         self.trigger_log: list[OnaTrigger] = []
+        # First lattice point each subject showed a symptom — the anchor
+        # for the diagnosis-latency histogram (trigger point minus first
+        # evidence point, in lattice points).
+        self._first_seen_point: dict[str, int] = {}
 
     # -- intake ------------------------------------------------------------
 
@@ -110,16 +115,25 @@ class DiagnosticAssessment:
         Duplicates (the same deviation reported by several observers) are
         merged via :meth:`Symptom.key`.
         """
+        obs = _obs.ACTIVE
+        obs_on = obs.enabled
         accepted = 0
         for symptom in symptoms:
             self.symptoms_total += 1
+            if obs_on:
+                obs.counters.inc("assessment.symptoms_submitted")
             key = symptom.key()
             if key in self._seen_keys:
                 self.symptoms_deduplicated += 1
+                if obs_on:
+                    obs.counters.inc("assessment.symptoms_deduplicated")
                 continue
             self._seen_keys.add(key)
             self._pending.append(symptom)
             accepted += 1
+            for subject in (symptom.subject_component, symptom.subject_job):
+                if subject is not None and subject not in self._first_seen_point:
+                    self._first_seen_point[subject] = symptom.lattice_point
         return accepted
 
     # -- epoch processing -----------------------------------------------------
@@ -127,33 +141,60 @@ class DiagnosticAssessment:
     def run_epoch(self, now_us: int) -> EpochResult:
         """Evaluate one assessment epoch at time ``now_us``."""
         self.epochs_run += 1
-        new_symptoms = self._pending
-        self._pending = []
-        self._window.extend(new_symptoms)
-        self._prune_window(now_us)
-
-        ctx = OnaContext(
-            now_us=int(now_us),
-            time_base=self.time_base,
-            window=list(self._window),
-            topology=self.topology,
+        obs = _obs.ACTIVE
+        obs_on = obs.enabled
+        span = (
+            obs.tracer.span(
+                "assessment.epoch",
+                t_sim_us=int(now_us),
+                pending=len(self._pending),
+            )
+            if obs_on
+            else None
         )
-        triggers: list[OnaTrigger] = []
-        for ona in self.onas:
-            triggers.extend(ona.evaluate(ctx))
-        self.trigger_log.extend(triggers)
-        self.classifier.ingest(triggers)
+        if span is not None:
+            span.__enter__()
+        try:
+            new_symptoms = self._pending
+            self._pending = []
+            self._window.extend(new_symptoms)
+            self._prune_window(now_us)
 
-        self._feed_alpha_counts(new_symptoms, triggers, now_us)
-        self._update_trust(new_symptoms, triggers, now_us)
+            ctx = OnaContext(
+                now_us=int(now_us),
+                time_base=self.time_base,
+                window=list(self._window),
+                topology=self.topology,
+            )
+            triggers: list[OnaTrigger] = []
+            for ona in self.onas:
+                triggers.extend(ona.run(ctx))
+            self.trigger_log.extend(triggers)
+            self.classifier.ingest(triggers)
 
-        verdicts = tuple(self.classifier.verdicts())
-        return EpochResult(
-            now_us=int(now_us),
-            new_symptoms=len(new_symptoms),
-            triggers=tuple(triggers),
-            verdicts=verdicts,
-        )
+            self._feed_alpha_counts(new_symptoms, triggers, now_us)
+            self._update_trust(new_symptoms, triggers, now_us)
+
+            verdicts = tuple(self.classifier.verdicts())
+            if obs_on:
+                obs.counters.inc("assessment.epochs")
+                now_point = self.time_base.lattice_point(int(now_us))
+                for trigger in triggers:
+                    first = self._first_seen_point.get(trigger.subject.name)
+                    if first is not None:
+                        obs.counters.observe(
+                            "diagnosis.latency_points",
+                            max(0, now_point - first),
+                        )
+            return EpochResult(
+                now_us=int(now_us),
+                new_symptoms=len(new_symptoms),
+                triggers=tuple(triggers),
+                verdicts=verdicts,
+            )
+        finally:
+            if span is not None:
+                span.__exit__(None, None, None)
 
     def _prune_window(self, now_us: int) -> None:
         horizon = self.time_base.lattice_point(now_us) - self.window_points
@@ -235,6 +276,7 @@ class DiagnosticAssessment:
         """
         self.classifier.clear(fru)
         self.trust.level(str(fru)).reset()
+        self._first_seen_point.pop(fru.name, None)
         stale = [
             s
             for s in self._window

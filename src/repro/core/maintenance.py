@@ -26,6 +26,7 @@ from enum import Enum
 from repro.core.classification import Verdict
 from repro.core.fault_model import FaultClass, FruKind, FruRef
 from repro.faults.rates import LRU_REMOVAL_COST_USD
+from repro.obs import state as _obs
 
 
 class MaintenanceAction(Enum):
@@ -83,6 +84,16 @@ def determine_action(
         MaintenanceAction.REPLACE_COMPONENT,
         MaintenanceAction.INSPECT_TRANSDUCER,
     )
+    obs = _obs.ACTIVE
+    if obs.enabled:
+        obs.counters.inc("maintenance.actions", action=action.name)
+        obs.tracer.event(
+            "maintenance.recommendation",
+            fru=str(verdict.fru),
+            cls=fault_class.value,
+            action=action.name,
+            confidence=verdict.confidence,
+        )
     return MaintenanceRecommendation(
         fru=verdict.fru,
         fault_class=fault_class,

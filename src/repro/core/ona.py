@@ -33,6 +33,7 @@ from repro.core.patterns import (
     WEAROUT_PATTERN,
 )
 from repro.core.symptoms import Symptom, SymptomType
+from repro.obs import state as _obs
 from repro.tta.time_base import SparseTimeBase
 
 
@@ -113,6 +114,38 @@ class OutOfNormAssertion(ABC):
     @abstractmethod
     def evaluate(self, ctx: OnaContext) -> list[OnaTrigger]:
         """Return all *new* triggers for the current window."""
+
+    def run(self, ctx: OnaContext) -> list[OnaTrigger]:
+        """:meth:`evaluate` under the active observability context.
+
+        Wraps the evaluation in a per-ONA span and records one
+        ``ona.triggers`` counter sample per firing, labelled with the ONA
+        name and the indicated fault class — the per-class match counts
+        the accuracy battery reads back as a confusion record.
+        """
+        obs = _obs.ACTIVE
+        if not obs.enabled:
+            return self.evaluate(ctx)
+        with obs.tracer.span(
+            f"ona.{self.name}", t_sim_us=ctx.now_us, window=len(ctx.window)
+        ):
+            triggers = self.evaluate(ctx)
+        for trigger in triggers:
+            obs.counters.inc(
+                "ona.triggers",
+                ona=self.name,
+                cls=trigger.fault_class.value,
+            )
+            obs.tracer.event(
+                "ona.trigger",
+                t_sim_us=trigger.time_us,
+                ona=trigger.ona,
+                cls=trigger.fault_class.value,
+                subject=str(trigger.subject),
+                confidence=trigger.confidence,
+                evidence=trigger.evidence,
+            )
+        return triggers
 
 
 class MassiveTransientOna(OutOfNormAssertion):

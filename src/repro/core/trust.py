@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.errors import ConfigurationError
+from repro.obs import state as _obs
 
 
 @dataclass(slots=True)
@@ -103,7 +104,23 @@ class TrustBank:
         return lvl
 
     def update(self, fru: str, evidence_weight: float, now_us: int) -> float:
-        return self.level(fru).update(evidence_weight, now_us)
+        lvl = self.level(fru)
+        was_suspicious = lvl.suspicious
+        value = lvl.update(evidence_weight, now_us)
+        obs = _obs.ACTIVE
+        if obs.enabled:
+            obs.counters.inc("trust.updates")
+            if evidence_weight > 0.0:
+                obs.counters.inc("trust.demerits")
+            if lvl.suspicious and not was_suspicious:
+                obs.counters.inc("trust.suspicious_transitions")
+                obs.tracer.event(
+                    "trust.suspicious",
+                    t_sim_us=now_us,
+                    fru=fru,
+                    value=value,
+                )
+        return value
 
     def values(self) -> dict[str, float]:
         return {name: lvl.value for name, lvl in self._levels.items()}

@@ -28,6 +28,7 @@ from repro.components.ports import PortDirection, PortKind
 from repro.components.redundancy import TmrVoter
 from repro.core.symptoms import Symptom, SymptomType
 from repro.errors import ConfigurationError
+from repro.obs import state as _obs
 from repro.tta.frames import Frame
 from repro.tta.network import Delivery, DeliveryStatus
 from repro.tta.tdma import SlotPosition
@@ -128,6 +129,19 @@ class DetectionService:
 
     def _emit(self, symptom: Symptom) -> None:
         self.symptoms_emitted += 1
+        obs = _obs.ACTIVE
+        if obs.enabled:
+            obs.counters.inc("detector.symptoms")
+            obs.counters.inc("detector.symptoms.by_type", type=symptom.type.name)
+            obs.tracer.event(
+                "detector.symptom",
+                t_sim_us=symptom.time_us,
+                type=symptom.type.name,
+                observer=symptom.observer,
+                subject=symptom.subject_component,
+                job=symptom.subject_job,
+                lattice_point=symptom.lattice_point,
+            )
         self.sink(symptom.observer, symptom)
 
     # -- the per-slot observer ------------------------------------------------

@@ -32,6 +32,7 @@ from dataclasses import dataclass
 from repro.components.cluster import Cluster
 from repro.core.symptoms import Symptom
 from repro.errors import ConfigurationError
+from repro.obs import state as _obs
 from repro.tta.frames import Frame
 from repro.tta.tdma import SlotPosition
 
@@ -112,8 +113,14 @@ class DiagnosticNetwork:
         diagnostic DAS reads its local detectors directly).
         """
         self.deposited += 1
+        obs = _obs.ACTIVE
+        if obs.enabled:
+            obs.counters.inc("dissemination.deposited")
         if observer in self.collectors:
             self.delivered += 1
+            if obs.enabled:
+                obs.counters.inc("dissemination.delivered")
+                obs.counters.observe("dissemination.latency_slots", 0)
             for consumer in self._consumers:
                 consumer(observer, symptom)
             return
@@ -121,6 +128,13 @@ class DiagnosticNetwork:
         if len(outbox) >= self.max_outbox:
             outbox.popleft()
             self.dropped_outbox += 1
+            if obs.enabled:
+                obs.counters.inc("dissemination.dropped_outbox")
+                obs.tracer.event(
+                    "dissemination.drop",
+                    t_sim_us=self.cluster.now,
+                    observer=observer,
+                )
         outbox.append(
             SymptomMessage(symptom, observer, self.cluster.now)
         )
@@ -137,14 +151,25 @@ class DiagnosticNetwork:
         while outbox and len(batch) < self.slot_budget:
             batch.append(outbox.popleft())
         self.transmitted += len(batch)
+        obs = _obs.ACTIVE
+        if obs.enabled:
+            obs.counters.inc("dissemination.transmitted", len(batch))
         return {DIAGNOSTIC_VN: tuple(batch)}
 
     def _consume(self, receiver: str, frame: Frame, now_us: int) -> None:
         if receiver not in self.collectors:
             return
         messages = frame.payload.get(DIAGNOSTIC_VN, ())
+        obs = _obs.ACTIVE
+        slot_us = self.cluster.schedule.slot_length_us
         for message in messages:
             self.delivered += 1
+            if obs.enabled:
+                obs.counters.inc("dissemination.delivered")
+                obs.counters.observe(
+                    "dissemination.latency_slots",
+                    max(0, now_us - message.enqueued_us) // slot_us,
+                )
             for consumer in self._consumers:
                 consumer(receiver, message.symptom)
 

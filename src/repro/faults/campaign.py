@@ -24,6 +24,7 @@ import numpy as np
 from repro.core.fault_model import FaultDescriptor
 from repro.errors import AnalysisError, FaultInjectionError
 from repro.faults.injector import FaultInjector
+from repro.obs.counters import CounterRegistry
 from repro.units import ms, seconds
 
 #: Default mechanism mix (relative weights, see module docstring).
@@ -263,6 +264,11 @@ class CampaignReplicaSpec:
     sensor_jobs: tuple[str, ...] = ("C1",)
     software_jobs: tuple[str, ...] = ("A1", "A2", "B1", "C2")
     config_ports: tuple[tuple[str, str], ...] = (("A3", "in"),)
+    # Observability: counters when enabled, trace records additionally
+    # when obs_trace is set.  Both derive purely from simulated state, so
+    # enabling them must not perturb the summary.
+    obs_enabled: bool = False
+    obs_trace: bool = False
 
 
 @dataclass(frozen=True, slots=True)
@@ -277,6 +283,10 @@ class CampaignReplicaOutcome:
     faults_attributed: int
     verdicts_emitted: int
     events_simulated: int
+    #: Counter-registry snapshot when the spec enabled observability.
+    obs_counters: dict | None = None
+    #: Schema-v1 trace line dicts (replica-tagged) when tracing was on.
+    obs_trace: tuple[dict, ...] = ()
 
 
 @dataclass(frozen=True, slots=True)
@@ -296,6 +306,8 @@ class CampaignSummary:
     verdicts_emitted: int
     events_simulated: int
     plan_digest: str  # sha256 over every (replica, mechanism, target, time)
+    #: Merged counter snapshot (index order) when replicas carried one.
+    obs_counters: dict | None = None
 
     @property
     def attribution_accuracy(self) -> float:
@@ -314,7 +326,7 @@ class CampaignSummary:
 
     def to_dict(self) -> dict:
         """JSON-safe dict form (for BENCH_*.json and --metrics-json)."""
-        return {
+        out = {
             "replicas": self.replicas,
             "faults_injected": self.faults_injected,
             "faults_attributed": self.faults_attributed,
@@ -325,6 +337,9 @@ class CampaignSummary:
             "events_simulated": self.events_simulated,
             "plan_digest": self.plan_digest,
         }
+        if self.obs_counters is not None:
+            out["obs_counters"] = self.obs_counters
+        return out
 
 
 def summarize_campaign(
@@ -360,6 +375,8 @@ def summarize_campaign(
             digest.update(
                 f"{outcome.index}|{mechanism}|{target}|{at_us}\n".encode()
             )
+    snapshots = [o.obs_counters for o in ordered if o.obs_counters is not None]
+    obs_counters = CounterRegistry.merged(snapshots) if snapshots else None
     return CampaignSummary(
         replicas=len(ordered),
         faults_injected=total_injected,
@@ -369,4 +386,5 @@ def summarize_campaign(
         verdicts_emitted=verdicts,
         events_simulated=events,
         plan_digest=digest.hexdigest(),
+        obs_counters=obs_counters,
     )

@@ -1,0 +1,144 @@
+"""``repro.obs`` — structured observability for the diagnostic stack.
+
+One :class:`Observability` context bundles the three instruments the
+DECOS reproduction exposes:
+
+* a **tracer** (:mod:`repro.obs.tracer`) — spans and events with
+  simulated + wall clocks, JSONL sink, schema v1;
+* a **counter registry** (:mod:`repro.obs.counters`) — monotone counters
+  and simulated-time histograms with a deterministic cross-process merge;
+* an optional **profiler** (:mod:`repro.obs.profiler`) — per-subsystem
+  wall-time breakdown fed from span closures.
+
+The stack is instrumented against the *active* context
+(:mod:`repro.obs.state`), which defaults to a disabled singleton: every
+hook is one attribute check and a branch, so an uninstrumented-feeling
+production path stays the default.  Enable per run::
+
+    from repro import obs
+
+    with obs.activated(obs.Observability()) as o:
+        cluster.run(seconds(2))
+    print(o.counters.get("detector.symptoms"))
+
+or process-wide via :func:`set_obs`.  Worker replicas of the parallel
+runtime install their own context around each replica and ship the
+counter snapshot (plus optional trace records) back through the
+index-ordered reduce — see :mod:`repro.runtime.workloads` and
+``docs/observability.md``.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, TextIO
+
+from repro.obs import state as _state
+from repro.obs.counters import CounterRegistry, Histogram, counter_key
+from repro.obs.profiler import Profiler
+from repro.obs.tracer import (
+    TRACE_SCHEMA_VERSION,
+    ObsRecord,
+    Tracer,
+    canonical_lines,
+    read_jsonl,
+    trace_digest,
+    validate_record,
+    validate_trace,
+    write_jsonl,
+)
+
+__all__ = [
+    "TRACE_SCHEMA_VERSION",
+    "CounterRegistry",
+    "Histogram",
+    "ObsRecord",
+    "Observability",
+    "Profiler",
+    "Tracer",
+    "activated",
+    "canonical_lines",
+    "counter_key",
+    "get_obs",
+    "read_jsonl",
+    "set_obs",
+    "trace_digest",
+    "validate_record",
+    "validate_trace",
+    "write_jsonl",
+]
+
+
+class Observability:
+    """Tracer + counters + optional profiler behind one enabled flag.
+
+    Parameters
+    ----------
+    enabled:
+        Master switch checked by every instrumentation site.
+    trace:
+        Record spans/events (False keeps counters only; the tracer is
+        swapped for an inert one).
+    sink:
+        Optional open text stream the tracer writes JSONL lines to.
+    profile:
+        Attach a :class:`Profiler` to span closures (implies tracing).
+    """
+
+    def __init__(
+        self,
+        *,
+        enabled: bool = True,
+        trace: bool = True,
+        sink: TextIO | None = None,
+        profile: bool = False,
+    ) -> None:
+        self.enabled = enabled
+        self.counters = CounterRegistry()
+        self.tracer = Tracer(enabled=enabled and (trace or profile), sink=sink)
+        self.profiler: Profiler | None = None
+        if profile:
+            self.profiler = Profiler()
+            self.tracer.span_listeners.append(self.profiler.on_span)
+
+    @classmethod
+    def disabled(cls) -> "Observability":
+        return cls(enabled=False, trace=False)
+
+    # -- export -----------------------------------------------------------
+
+    def snapshot(self) -> dict[str, Any]:
+        """Counter-registry snapshot (deterministic, picklable)."""
+        return self.counters.snapshot()
+
+    def trace_dicts(self) -> list[dict[str, Any]]:
+        """In-memory trace records as schema-v1 line dicts."""
+        return self.tracer.record_dicts()
+
+
+#: Disabled singleton — the default active context.
+DISABLED = Observability.disabled()
+_state.ACTIVE = DISABLED
+
+
+def get_obs() -> Observability:
+    """The currently active observability context."""
+    return _state.ACTIVE
+
+
+def set_obs(obs: Observability | None) -> Observability:
+    """Install ``obs`` (None = disabled) as active; returns the previous."""
+    previous = _state.ACTIVE
+    _state.ACTIVE = obs if obs is not None else DISABLED
+    return previous
+
+
+@contextmanager
+def activated(obs: Observability | None = None):
+    """Scoped activation; restores the previous context on exit."""
+    obs = obs if obs is not None else Observability()
+    previous = set_obs(obs)
+    try:
+        yield obs
+    finally:
+        _state.ACTIVE = previous

@@ -1,0 +1,75 @@
+"""Per-subsystem wall-time profiling fed by tracer spans.
+
+The profiler listens to span closures and attributes each duration to the
+first dotted segment of the span name — ``assessment.epoch`` to
+``assessment``, ``ona.wearout`` to ``ona`` — yielding the per-subsystem
+time breakdown behind the CLI's ``--profile`` flag.  Nested spans are
+attributed to each enclosing subsystem independently (a self-time model
+would need a span stack; the inclusive model is what the coarse
+"where does the wall time go" question needs).
+
+Wall time is host-dependent by nature, so profiler output never enters
+counter snapshots or trace digests — it is a per-run diagnostic artefact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(slots=True)
+class SubsystemTotal:
+    """Accumulated spans of one subsystem."""
+
+    spans: int = 0
+    total_s: float = 0.0
+
+
+class Profiler:
+    """Aggregates span durations per subsystem (and per full span name)."""
+
+    def __init__(self) -> None:
+        self.by_subsystem: dict[str, SubsystemTotal] = {}
+        self.by_name: dict[str, SubsystemTotal] = {}
+
+    def on_span(self, name: str, dur_s: float) -> None:
+        """Tracer span listener: attribute one closed span."""
+        subsystem = name.split(".", 1)[0]
+        for table, key in ((self.by_subsystem, subsystem), (self.by_name, name)):
+            entry = table.get(key)
+            if entry is None:
+                entry = table[key] = SubsystemTotal()
+            entry.spans += 1
+            entry.total_s += dur_s
+
+    @property
+    def total_s(self) -> float:
+        return sum(e.total_s for e in self.by_subsystem.values())
+
+    def rows(self) -> list[list[str]]:
+        """Table rows: subsystem, spans, total s, share — largest first."""
+        total = self.total_s or 1.0
+        ordered = sorted(
+            self.by_subsystem.items(), key=lambda item: -item[1].total_s
+        )
+        return [
+            [
+                subsystem,
+                str(entry.spans),
+                f"{entry.total_s:.4f}",
+                f"{entry.total_s / total:.0%}",
+            ]
+            for subsystem, entry in ordered
+        ]
+
+    def render(self) -> str:
+        """Human-readable per-subsystem breakdown."""
+        from repro.analysis.reports import render_table
+
+        if not self.by_subsystem:
+            return "profile: no spans recorded (is tracing enabled?)"
+        return render_table(
+            ["subsystem", "spans", "wall [s]", "share"],
+            self.rows(),
+            title=f"Profile: {self.total_s:.4f} s in instrumented spans",
+        )

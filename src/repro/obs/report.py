@@ -1,0 +1,126 @@
+"""Rendering of obs trace artefacts — the ``repro obs report`` command.
+
+Reads a schema-v1 JSONL trace (see :mod:`repro.obs.tracer`), validates
+it, and renders a human-readable summary: record volume by name, the
+simulated-time extent, per-replica volume for multi-replica traces, and
+the counter totals embedded in ``trace.counters`` meta records.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Mapping
+from pathlib import Path
+from typing import Any
+
+from repro.analysis.reports import render_table
+from repro.obs.tracer import TRACE_SCHEMA_VERSION, read_jsonl, validate_trace
+
+#: Meta record name under which flattened counter totals are embedded.
+COUNTERS_RECORD = "trace.counters"
+
+
+def counters_record(snapshot: Mapping[str, Any]) -> dict[str, Any]:
+    """A ``trace.counters`` meta line carrying the flattened snapshot."""
+    return {
+        "schema": TRACE_SCHEMA_VERSION,
+        "kind": "meta",
+        "name": COUNTERS_RECORD,
+        "attrs": flatten_counters(snapshot),
+    }
+
+
+def flatten_counters(snapshot: Mapping[str, Any]) -> dict[str, float]:
+    """Flatten a registry snapshot to scalar attrs for a meta record.
+
+    Counters keep their keys; each histogram contributes its summary
+    fields as ``<key>.count`` / ``.sum`` / ``.min`` / ``.max``.
+    """
+    flat: dict[str, float] = dict(snapshot.get("counters", {}))
+    for key, hist in snapshot.get("histograms", {}).items():
+        flat[f"{key}.count"] = hist["count"]
+        flat[f"{key}.sum"] = hist["sum"]
+        if hist["min"] is not None:
+            flat[f"{key}.min"] = hist["min"]
+            flat[f"{key}.max"] = hist["max"]
+    return flat
+
+
+def summarize_trace(records: list[dict[str, Any]]) -> dict[str, Any]:
+    """Structured summary of one validated trace."""
+    by_name: Counter[str] = Counter()
+    by_kind: Counter[str] = Counter()
+    replicas: set[int] = set()
+    t_lo: int | None = None
+    t_hi: int | None = None
+    counters: dict[str, float] = {}
+    schema = None
+    for rec in records:
+        kind = rec.get("kind")
+        by_kind[kind] += 1
+        if kind == "meta":
+            if schema is None:
+                schema = rec.get("schema")
+            if rec.get("name") == COUNTERS_RECORD:
+                counters.update(rec.get("attrs", {}))
+            continue
+        by_name[rec["name"]] += 1
+        if rec.get("replica") is not None:
+            replicas.add(rec["replica"])
+        t_sim = rec.get("t_sim_us")
+        if t_sim is not None:
+            t_lo = t_sim if t_lo is None else min(t_lo, t_sim)
+            t_hi = t_sim if t_hi is None else max(t_hi, t_sim)
+    return {
+        "schema": schema,
+        "records": sum(by_kind.values()),
+        "by_kind": dict(sorted(by_kind.items())),
+        "by_name": dict(sorted(by_name.items())),
+        "replicas": len(replicas),
+        "t_sim_us_range": None if t_lo is None else [t_lo, t_hi],
+        "counters": dict(sorted(counters.items())),
+    }
+
+
+def render_report(path: str | Path) -> str:
+    """Validate a JSONL trace file and render the summary tables."""
+    records = read_jsonl(path)
+    validate_trace(records)
+    summary = summarize_trace(records)
+    t_range = summary["t_sim_us_range"]
+    span = (
+        f"{t_range[0]:,} .. {t_range[1]:,} us"
+        if t_range is not None
+        else "no simulated-time stamps"
+    )
+    replicas = (
+        f", {summary['replicas']} replicas" if summary["replicas"] else ""
+    )
+    parts = [
+        render_table(
+            ["record", "count"],
+            [[name, count] for name, count in summary["by_name"].items()],
+            title=(
+                f"Obs trace {Path(path).name}: schema v{summary['schema']}, "
+                f"{summary['records']} records, sim time {span}{replicas}"
+            ),
+        )
+    ]
+    if summary["counters"]:
+        parts.append(
+            render_table(
+                ["counter", "value"],
+                [
+                    [key, _fmt(value)]
+                    for key, value in summary["counters"].items()
+                ],
+                title="Counter totals",
+            )
+        )
+    return "\n".join(parts)
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float) and not value.is_integer():
+        return f"{value:.3f}"
+    return f"{int(value):,}"

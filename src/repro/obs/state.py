@@ -1,0 +1,27 @@
+"""The process-wide active observability context.
+
+Instrumentation sites across the stack (the DES kernel, the detection
+service, the assessment chain) read ``ACTIVE`` once per hook and bail out
+on a single attribute check when observability is disabled — the
+zero-cost-when-disabled contract.  The module exists separately from
+:mod:`repro.obs` so hot paths can bind the module object once
+(``from repro.obs import state as _obs``) and pay exactly one attribute
+lookup per hook, with no import cycles into the instrumented layers.
+
+``ACTIVE`` is rebound, never mutated: :func:`repro.obs.set_obs` swaps the
+whole :class:`~repro.obs.Observability` object.  Worker processes of the
+parallel runtime each install their own context (see
+:mod:`repro.runtime.workloads`), so replica observations never leak
+between replicas that happen to share an interpreter.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs import Observability
+
+#: The active observability context; replaced by ``repro.obs.set_obs``.
+#: Initialised by ``repro/obs/__init__.py`` to the disabled singleton.
+ACTIVE: "Observability" = None  # type: ignore[assignment]

@@ -15,6 +15,7 @@ CLI, the equivalence tests and the scaling benchmarks.
 
 from __future__ import annotations
 
+from repro import obs as obs_api
 from repro.analysis.scenarios import predicted_class_for
 from repro.diagnosis.diag_das import DiagnosticService
 from repro.faults.campaign import (
@@ -38,23 +39,41 @@ def run_campaign_replica(replica: ReplicaTask) -> CampaignReplicaOutcome:
     reproducible independent of where or when the replica executes.
     """
     spec = replica.spec if replica.spec is not None else CampaignReplicaSpec()
-    parts = figure10_cluster(seed=replica.state_seed())
-    cluster = parts.cluster
-    service = DiagnosticService(
-        cluster, collector="comp5", window_points=12_000
+    obs = (
+        obs_api.Observability(trace=spec.obs_trace)
+        if getattr(spec, "obs_enabled", False)
+        else None
     )
-    injector = FaultInjector(cluster)
-    campaign = RandomCampaign(
-        injector,
-        expected_faults=spec.expected_faults,
-        horizon_us=spec.horizon_us,
-        sensor_jobs=spec.sensor_jobs,
-        software_jobs=spec.software_jobs,
-        config_ports=spec.config_ports,
-    )
-    plan = campaign.run(replica.rng())
-    cluster.run(spec.horizon_us + spec.settle_us)
-    verdicts = service.verdicts()
+    previous = obs_api.set_obs(obs) if obs is not None else None
+    try:
+        parts = figure10_cluster(seed=replica.state_seed())
+        cluster = parts.cluster
+        service = DiagnosticService(
+            cluster, collector="comp5", window_points=12_000
+        )
+        injector = FaultInjector(cluster)
+        campaign = RandomCampaign(
+            injector,
+            expected_faults=spec.expected_faults,
+            horizon_us=spec.horizon_us,
+            sensor_jobs=spec.sensor_jobs,
+            software_jobs=spec.software_jobs,
+            config_ports=spec.config_ports,
+        )
+        plan = campaign.run(replica.rng())
+        cluster.run(spec.horizon_us + spec.settle_us)
+        verdicts = service.verdicts()
+    finally:
+        if obs is not None:
+            obs_api.set_obs(previous)
+
+    obs_counters = obs.snapshot() if obs is not None else None
+    obs_trace: tuple[dict, ...] = ()
+    if obs is not None and spec.obs_trace:
+        obs_trace = tuple(
+            {**record, "replica": replica.index}
+            for record in obs.trace_dicts()
+        )
 
     injected: dict[str, int] = {}
     attributed: dict[str, int] = {}
@@ -78,6 +97,8 @@ def run_campaign_replica(replica: ReplicaTask) -> CampaignReplicaOutcome:
         faults_attributed=correct,
         verdicts_emitted=len(verdicts),
         events_simulated=cluster.sim.events_processed,
+        obs_counters=obs_counters,
+        obs_trace=obs_trace,
     )
 
 

@@ -18,6 +18,11 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.errors import SchedulingError, SimulationError
+from repro.obs import state as _obs
+
+#: Counter names the kernel reports through the active obs context.
+_EVENTS_COUNTER = "sim.events"
+_RUNS_COUNTER = "sim.runs"
 
 EventCallback = Callable[["Simulator"], None]
 
@@ -158,6 +163,9 @@ class Simulator:
                 raise SimulationError("event time moved backwards")
             self._now = time
             self._events_processed += 1
+            obs = _obs.ACTIVE
+            if obs.enabled:
+                obs.counters.inc(_EVENTS_COUNTER)
             event.callback(self)
             return True
         return False
@@ -182,6 +190,18 @@ class Simulator:
             raise SimulationError("run_until is not reentrant")
         self._running = True
         executed = 0
+        # Bind the obs context once per run: event dispatch is the hottest
+        # loop in the codebase, so the disabled path must stay one
+        # attribute check per event.
+        obs = _obs.ACTIVE
+        obs_on = obs.enabled
+        span = (
+            obs.tracer.span("sim.run_until", t_sim_us=horizon)
+            if obs_on
+            else None
+        )
+        if span is not None:
+            span.__enter__()
         try:
             while self._heap:
                 time, _priority, seq, event = self._heap[0]
@@ -202,6 +222,11 @@ class Simulator:
             self._now = horizon
         finally:
             self._running = False
+            if obs_on:
+                obs.counters.inc(_EVENTS_COUNTER, executed)
+                obs.counters.inc(_RUNS_COUNTER)
+            if span is not None:
+                span.__exit__(None, None, None)
 
     def run_for(self, duration: int, **kwargs: Any) -> None:
         """Run for ``duration`` microseconds from the current time."""

@@ -1,0 +1,119 @@
+"""Property-based tests for the alpha-count heuristic (§V-C).
+
+The maintenance-relevant guarantees, checked over arbitrary observation
+sequences:
+
+* the score is bounded by the failures seen and never negative;
+* ``has_triggered`` is monotone — the discrimination flag never
+  oscillates back to False, however the symptom batches are ordered;
+* fewer failures than the threshold can never trigger, in any order;
+* reordering a batch of observations never changes whether the count
+  *eventually* trips when the failures all arrive (permutation safety
+  for the all-failures case the paper's recurring faults produce).
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, strategies as st
+
+from repro.core.alpha_count import AlphaCount, AlphaCountBank
+
+observations = st.lists(st.booleans(), max_size=200)
+decays = st.floats(min_value=0.0, max_value=0.99)
+thresholds = st.floats(min_value=0.5, max_value=20.0)
+
+
+@given(observations, decays, thresholds)
+def test_score_bounded_by_failures_seen(seq, decay, threshold):
+    ac = AlphaCount(decay=decay, threshold=threshold)
+    for failed in seq:
+        score = ac.observe(failed)
+        assert 0.0 <= score <= ac.failures_seen
+        assert score <= ac.peak_score
+    assert ac.observations == len(seq)
+    assert ac.failures_seen == sum(seq)
+
+
+@given(observations, decays, thresholds)
+def test_has_triggered_never_oscillates(seq, decay, threshold):
+    """Once the threshold is crossed the flag stays up for good."""
+    ac = AlphaCount(decay=decay, threshold=threshold)
+    tripped = False
+    for failed in seq:
+        ac.observe(failed)
+        if tripped:
+            assert ac.has_triggered, "discrimination flag oscillated"
+        tripped = tripped or ac.has_triggered
+
+
+@given(observations.filter(lambda s: sum(s) < 3), decays)
+def test_below_threshold_failure_count_cannot_trigger(seq, decay):
+    """< threshold failures can never trip, whatever their order."""
+    ac = AlphaCount(decay=decay, threshold=3.0)
+    for failed in seq:
+        ac.observe(failed)
+        assert not ac.has_triggered
+
+
+@given(
+    st.lists(st.booleans(), min_size=1, max_size=60),
+    st.randoms(use_true_random=False),
+    decays,
+    thresholds,
+)
+def test_reordered_batches_trip_consistently_on_all_failures(
+    seq, rng, decay, threshold
+):
+    """Trailing all-failure runs are permutation-robust.
+
+    Decay interleavings make the *instantaneous* score order-dependent
+    by design; the discrimination signal must still be stable: appending
+    ``ceil(threshold)`` consecutive failures trips the count regardless
+    of how the preceding batch was ordered (score is never negative, so
+    k >= threshold increments alone reach it).
+    """
+    import math
+
+    shuffled = list(seq)
+    rng.shuffle(shuffled)
+    tail = [True] * math.ceil(threshold)
+    for ordering in (seq + tail, shuffled + tail):
+        ac = AlphaCount(decay=decay, threshold=threshold)
+        for failed in ordering:
+            ac.observe(failed)
+        assert ac.has_triggered
+
+
+@given(observations, decays, thresholds)
+def test_reset_clears_all_evidence(seq, decay, threshold):
+    ac = AlphaCount(decay=decay, threshold=threshold)
+    for failed in seq:
+        ac.observe(failed)
+    ac.reset()
+    assert ac.score == 0.0
+    assert not ac.triggered and not ac.has_triggered
+    assert ac.first_crossing_at_us is None
+
+
+@given(
+    st.lists(
+        st.tuples(st.sampled_from(["fru-a", "fru-b", "fru-c"]), st.booleans()),
+        max_size=120,
+    )
+)
+def test_bank_isolates_frus_and_matches_standalone_counts(stream):
+    """The bank's per-FRU counts equal independently fed AlphaCounts."""
+    bank = AlphaCountBank(decay=0.9, threshold=3.0)
+    standalone: dict[str, AlphaCount] = {}
+    for fru, failed in stream:
+        bank.observe(fru, failed)
+        standalone.setdefault(
+            fru, AlphaCount(decay=0.9, threshold=3.0)
+        ).observe(failed)
+    for fru, expected in standalone.items():
+        assert bank.count(fru).score == expected.score
+        assert bank.count(fru).has_triggered == expected.has_triggered
+    assert bank.triggered() == sorted(
+        (f for f, ac in standalone.items() if ac.triggered),
+        key=lambda f: -standalone[f].score,
+    )

@@ -1,0 +1,86 @@
+"""Property-based tests for trust levels (§II-D, Fig. 9).
+
+Complements ``tests/test_properties.py``'s bounds checks with the
+monotonicity contract under *repeated identical evidence*: a constant
+stream of violations drives trust monotonically down to the floor, a
+constant conforming stream drives it monotonically up to 1.0, and the
+``suspicious`` flag follows the 0.5 threshold without oscillating under
+either constant stream.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, strategies as st
+
+from repro.core.trust import TrustBank, TrustLevel
+
+weights = st.floats(min_value=0.01, max_value=5.0)
+epochs = st.integers(min_value=1, max_value=200)
+
+
+@given(weights, epochs)
+def test_repeated_violations_monotone_down_to_floor(weight, n):
+    level = TrustLevel(demerit=0.7, recovery=0.02, floor=0.01)
+    previous = level.value
+    for t in range(n):
+        value = level.update(weight, t)
+        assert value <= previous + 1e-12
+        assert value >= level.floor - 1e-12
+        previous = value
+
+
+@given(epochs)
+def test_repeated_conformance_monotone_up_to_one(n):
+    level = TrustLevel(demerit=0.7, recovery=0.05, floor=0.01)
+    level.value = 0.1  # start distrusted
+    previous = level.value
+    for t in range(n):
+        value = level.update(0.0, t)
+        assert previous - 1e-12 <= value <= 1.0
+        previous = value
+
+
+@given(weights, epochs)
+def test_suspicious_flag_never_oscillates_under_constant_evidence(weight, n):
+    level = TrustLevel()
+    suspicious_seen = False
+    for t in range(n):
+        level.update(weight, t)
+        if suspicious_seen:
+            assert level.suspicious, (
+                "suspicious flag recovered under unbroken violations"
+            )
+        suspicious_seen = suspicious_seen or level.suspicious
+
+
+@given(
+    st.lists(st.floats(min_value=0.0, max_value=3.0), max_size=80),
+    weights,
+)
+def test_trajectory_records_every_epoch(history, weight):
+    level = TrustLevel()
+    for t, w in enumerate(history):
+        level.update(w, t)
+    assert len(level.trajectory) == len(history)
+    assert [t for t, _ in level.trajectory] == list(range(len(history)))
+    assert all(0.0 < v <= 1.0 for _, v in level.trajectory)
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(["fru-a", "fru-b", "fru-c"]),
+            st.floats(min_value=0.0, max_value=2.0),
+        ),
+        max_size=100,
+    )
+)
+def test_bank_suspicious_sorted_most_distrusted_first(stream):
+    bank = TrustBank()
+    for t, (fru, weight) in enumerate(stream):
+        bank.update(fru, weight, t)
+    flagged = bank.suspicious()
+    values = bank.values()
+    assert flagged == sorted(
+        (f for f, v in values.items() if v < 0.5), key=lambda f: values[f]
+    )

@@ -1,0 +1,111 @@
+"""Golden-trace regression for the observability layer.
+
+Pins the SHA-256 of the obs trace (canonical, wall-time-excluded form —
+see :func:`repro.obs.tracer.canonical_lines`) that the frozen reference
+scenario of ``test_golden_trace.py`` emits with tracing enabled, plus
+the counter totals.  The digest changes iff the *simulated* behaviour of
+an instrumented subsystem changes — host speed never enters it.
+
+The test also cross-checks the probe-effect contract: running with the
+tracer on must reproduce the exact same cluster event trace as the
+obs-disabled golden run pinned in ``golden_trace_figure10.json``.
+
+To regenerate after a deliberate semantic change:
+
+    PYTHONPATH=src python -c \
+      "from tests.integration.test_golden_obs_trace import regenerate; regenerate()"
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro import obs
+from repro.diagnosis.diag_das import DiagnosticService
+from repro.faults.injector import FaultInjector
+from repro.obs.tracer import trace_digest, validate_trace
+from repro.presets import figure10_cluster
+from repro.units import ms
+
+GOLDEN_PATH = Path(__file__).parent.parent / "data" / "golden_obs_trace.json"
+CLUSTER_GOLDEN_PATH = (
+    Path(__file__).parent.parent / "data" / "golden_trace_figure10.json"
+)
+
+#: Frozen reference scenario — identical to test_golden_trace.py.
+SEED = 2026
+HORIZON_US = ms(400)
+
+#: Counter totals pinned alongside the digest (a readable first diff).
+PINNED_COUNTERS = (
+    "sim.events",
+    "detector.symptoms",
+    "dissemination.delivered",
+    "assessment.epochs",
+    "alpha.promotions",
+    "trust.updates",
+)
+
+
+def _run_reference_scenario():
+    """The pinned scenario under an activated obs context."""
+    with obs.activated(obs.Observability()) as o:
+        parts = figure10_cluster(seed=SEED)
+        cluster = parts.cluster
+        DiagnosticService(cluster, collector="comp5")
+        FaultInjector(cluster).inject_permanent_internal("comp2", at_us=ms(100))
+        cluster.run(HORIZON_US)
+    return cluster, o
+
+
+def _snapshot(cluster, o) -> dict:
+    records = o.trace_dicts()
+    counters = o.counters
+    return {
+        "scenario": "figure10+permanent-comp2+obs",
+        "seed": SEED,
+        "horizon_us": HORIZON_US,
+        "obs_digest": trace_digest(records),
+        "obs_records": len(records),
+        "cluster_digest": cluster.trace.digest(),
+        "counters": {name: counters.get(name) for name in PINNED_COUNTERS},
+    }
+
+
+def regenerate() -> None:
+    """Rewrite the golden snapshot from the current implementation."""
+    snapshot = _snapshot(*_run_reference_scenario())
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    GOLDEN_PATH.write_text(
+        json.dumps(snapshot, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    print(f"regenerated {GOLDEN_PATH}: digest {snapshot['obs_digest']}")
+
+
+def test_obs_trace_matches_golden_digest():
+    golden = json.loads(GOLDEN_PATH.read_text(encoding="utf-8"))
+    snapshot = _snapshot(*_run_reference_scenario())
+    # Readable fields first, the digest last as the exhaustive check.
+    assert snapshot["obs_records"] == golden["obs_records"]
+    assert snapshot["counters"] == golden["counters"]
+    assert snapshot["obs_digest"] == golden["obs_digest"]
+
+
+def test_tracing_does_not_perturb_the_simulation():
+    """Probe-effect check: obs on reproduces the obs-off golden trace."""
+    cluster, _ = _run_reference_scenario()
+    golden = json.loads(CLUSTER_GOLDEN_PATH.read_text(encoding="utf-8"))
+    assert cluster.trace.digest() == golden["digest"]
+    assert cluster.sim.events_processed == golden["events_processed"]
+
+
+def test_obs_trace_is_run_to_run_stable_and_schema_valid():
+    _, a = _run_reference_scenario()
+    _, b = _run_reference_scenario()
+    assert trace_digest(a.trace_dicts()) == trace_digest(b.trace_dicts())
+    validate_trace(
+        [{"schema": 1, "kind": "meta", "name": "trace.header", "attrs": {}}]
+        + a.trace_dicts()
+    )
+    assert a.snapshot() == b.snapshot()

@@ -1,0 +1,144 @@
+"""Unit tests for the counter/histogram registry and the trace report."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.counters import (
+    CounterRegistry,
+    Histogram,
+    bucket_of,
+    counter_key,
+)
+from repro.obs.report import (
+    counters_record,
+    flatten_counters,
+    render_report,
+    summarize_trace,
+)
+from repro.obs.tracer import write_jsonl
+
+
+def test_counter_key_sorts_labels():
+    assert counter_key("x") == "x"
+    assert (
+        counter_key("ona.triggers", {"ona": "wearout", "cls": "a"})
+        == "ona.triggers{cls=a,ona=wearout}"
+    )
+
+
+@pytest.mark.parametrize(
+    ("value", "bucket"),
+    [(0, 0), (0.5, 0), (1, 1), (1.9, 1), (2, 2), (3, 2), (4, 3), (1024, 11)],
+)
+def test_bucket_of_power_of_two_edges(value, bucket):
+    assert bucket_of(value) == bucket
+
+
+def test_histogram_observe_and_summary():
+    hist = Histogram()
+    for value in (0, 1, 3, 8):
+        hist.observe(value)
+    assert hist.count == 4
+    assert hist.total == 12.0
+    assert (hist.min, hist.max) == (0.0, 8.0)
+    assert hist.mean == 3.0
+    assert hist.buckets == {0: 1, 1: 1, 2: 1, 4: 1}
+
+
+def test_histogram_merge_equals_combined_stream():
+    a, b, combined = Histogram(), Histogram(), Histogram()
+    for value in (1, 5, 9):
+        a.observe(value)
+        combined.observe(value)
+    for value in (0, 2):
+        b.observe(value)
+        combined.observe(value)
+    a.merge(b)
+    assert a.to_dict() == combined.to_dict()
+    assert Histogram.from_dict(a.to_dict()).to_dict() == a.to_dict()
+
+
+def test_registry_inc_observe_and_labels():
+    reg = CounterRegistry()
+    reg.inc("sim.events")
+    reg.inc("sim.events", 41)
+    reg.inc("ona.triggers", ona="wearout", cls="component-internal")
+    reg.observe("latency", 3, stage="dissemination")
+    assert reg.get("sim.events") == 42
+    assert reg.get("ona.triggers", ona="wearout", cls="component-internal") == 1
+    assert reg.histogram("latency", stage="dissemination").count == 1
+    assert reg.counters("sim.") == {"sim.events": 42}
+    assert len(reg) == 3
+
+
+def test_snapshot_merge_matches_serial_run():
+    serial = CounterRegistry()
+    parts = [CounterRegistry() for _ in range(3)]
+    for i, part in enumerate(parts):
+        for _ in range(i + 1):
+            part.inc("events")
+            serial.inc("events")
+        part.observe("lat", i)
+        serial.observe("lat", i)
+    merged = CounterRegistry.merged(p.snapshot() for p in parts)
+    assert merged == serial.snapshot()
+    # Round trip through from_snapshot keeps everything.
+    assert CounterRegistry.from_snapshot(merged).snapshot() == merged
+
+
+def test_snapshot_is_sorted_and_clear_empties():
+    reg = CounterRegistry()
+    reg.inc("b")
+    reg.inc("a")
+    snap = reg.snapshot()
+    assert list(snap["counters"]) == ["a", "b"]
+    reg.clear()
+    assert len(reg) == 0
+
+
+def test_flatten_counters_includes_histogram_summaries():
+    reg = CounterRegistry()
+    reg.inc("x", 2)
+    reg.observe("lat", 4)
+    flat = flatten_counters(reg.snapshot())
+    assert flat["x"] == 2
+    assert flat["lat.count"] == 1
+    assert flat["lat.sum"] == 4.0
+    assert flat["lat.min"] == 4.0 and flat["lat.max"] == 4.0
+
+
+def test_counters_record_is_schema_valid_meta():
+    from repro.obs.tracer import validate_record
+
+    reg = CounterRegistry()
+    reg.inc("x")
+    rec = counters_record(reg.snapshot())
+    assert rec["kind"] == "meta"
+    assert validate_record(rec) == []
+
+
+def test_summarize_and_render_report(tmp_path):
+    reg = CounterRegistry()
+    reg.inc("sim.events", 10)
+    records = [
+        {
+            "seq": 0,
+            "kind": "event",
+            "name": "sim.run_until",
+            "t_sim_us": 500,
+            "t_wall_s": 0.1,
+            "attrs": {},
+            "replica": 0,
+        },
+        counters_record(reg.snapshot()),
+    ]
+    path = write_jsonl(tmp_path / "t.jsonl", records, header_attrs={})
+    summary = summarize_trace(records)
+    assert summary["by_name"] == {"sim.run_until": 1}
+    assert summary["replicas"] == 1
+    assert summary["t_sim_us_range"] == [500, 500]
+    assert summary["counters"] == {"sim.events": 10}
+    report = render_report(path)
+    assert "sim.run_until" in report
+    assert "sim.events" in report

@@ -32,6 +32,32 @@ def test_campaign_workers_1_vs_4_identical():
     assert len(parallel.metrics.worker_busy_s) >= 2
 
 
+def test_campaign_obs_counters_aggregate_identically_across_workers():
+    """The obs acceptance case: merged counters match workers=1 exactly,
+    and replica trace records survive the reduce with their tags."""
+    spec = CampaignReplicaSpec(
+        expected_faults=3.0,
+        horizon_us=ms(400),
+        obs_enabled=True,
+        obs_trace=True,
+    )
+    serial = run_random_campaigns(6, root_seed=11, spec=spec, workers=1)
+    parallel = run_random_campaigns(6, root_seed=11, spec=spec, workers=4)
+    assert serial.value.obs_counters is not None
+    assert serial.value.obs_counters == parallel.value.obs_counters
+    assert serial.value == parallel.value
+    # Enabling obs must not perturb the campaign itself.
+    baseline = run_random_campaigns(6, root_seed=11, spec=SPEC, workers=1)
+    assert baseline.value.plan_digest == serial.value.plan_digest
+    assert baseline.value.events_simulated == serial.value.events_simulated
+    # Replica-tagged trace records come back through the reduce.
+    for result in parallel.results:
+        assert result.value.obs_trace, "replica returned no trace records"
+        assert {
+            record["replica"] for record in result.value.obs_trace
+        } == {result.index}
+
+
 def test_campaign_different_root_seed_different_plans():
     a = run_random_campaigns(4, root_seed=1, spec=SPEC, workers=1)
     b = run_random_campaigns(4, root_seed=2, spec=SPEC, workers=1)

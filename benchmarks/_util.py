@@ -9,6 +9,13 @@ Alongside each ``.txt`` artefact, :func:`emit` writes a machine-readable
 ``<name>.json`` record so downstream tooling (trend dashboards,
 regression detectors) can consume benchmark trajectories without
 scraping tables.  Pass structured results via ``data=``.
+
+Everything under ``out/`` is a *generated* artefact and gitignored —
+except the curated ``BENCH_*.json`` snapshots referenced by
+EXPERIMENTS.md, which are committed deliberately (and only) when their
+numbers are meant to change.  Name a bench ``BENCH_<thing>`` to opt its
+JSON record into that curated set; CI uploads the whole ``out/``
+directory as a build artifact either way.
 """
 
 from __future__ import annotations

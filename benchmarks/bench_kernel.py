@@ -1,0 +1,115 @@
+"""BENCH_kernel — single-replica A10 hot-path speedup vs the pre-PR kernel.
+
+Times exactly one A10 random-campaign replica (the unit of work whose
+per-replica cost bounds campaign throughput, see BENCH_parallel) and
+compares it against the **pre-optimization kernel baseline** recorded
+below, measured with this very recipe on the same container before the
+hot-path work landed.
+
+The recipe is the contract: build the Fig. 10 cluster with seed 1,
+attach the diagnostic service, sample the seed-1 random campaign, then
+time *only* ``cluster.run(seconds(8))`` — construction, sampling and
+scoring are excluded so the ratio isolates the kernel + diagnostic
+pipeline.  ``events_processed`` must match the baseline exactly: the
+optimizations are required to be event-for-event equivalent (the
+equivalence battery in ``tests/integration`` pins the digests; this
+bench pins the count as a cheap tripwire).
+
+Knobs:
+
+* ``REPRO_KERNEL_MIN_SPEEDUP`` — required speedup factor (default 2.0;
+  set to 0 to disable the assertion on hardware much slower than the
+  baseline container).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from benchmarks._util import emit, once
+from repro.diagnosis.diag_das import DiagnosticService
+from repro.faults.campaign import RandomCampaign
+from repro.faults.injector import FaultInjector
+from repro.presets import figure10_cluster
+from repro.units import seconds
+
+#: Pre-PR kernel, measured with this recipe (min of 3) on the reference
+#: container before the hot-path optimizations: 3.888 s wall for the
+#: 8-simulated-second seed-1 replica, 10 006 events, ~2 574 events/s.
+BASELINE_WALL_S = 3.888
+BASELINE_EVENTS = 10_006
+ROUNDS = 3
+HORIZON_US = seconds(8)
+
+MIN_SPEEDUP = float(os.environ.get("REPRO_KERNEL_MIN_SPEEDUP", "2.0"))
+
+
+def _build_replica():
+    parts = figure10_cluster(seed=1)
+    cluster = parts.cluster
+    DiagnosticService(cluster, collector="comp5", window_points=12_000)
+    injector = FaultInjector(cluster)
+    campaign = RandomCampaign(
+        injector,
+        expected_faults=4.0,
+        horizon_us=HORIZON_US,
+        sensor_jobs=("C1",),
+        software_jobs=("A1", "A2", "B1", "C2"),
+        config_ports=(("A3", "in"),),
+    )
+    campaign.run(np.random.default_rng(1))
+    return cluster
+
+
+def _time_single_replica() -> tuple[float, int]:
+    """Best-of-ROUNDS wall time of the simulation phase of one replica."""
+    best = float("inf")
+    events = 0
+    for _ in range(ROUNDS):
+        cluster = _build_replica()
+        t0 = time.perf_counter()
+        cluster.run(HORIZON_US)
+        wall = time.perf_counter() - t0
+        best = min(best, wall)
+        events = cluster.sim.events_processed
+    return best, events
+
+
+def test_kernel_speedup(benchmark):
+    wall, events = once(benchmark, _time_single_replica)
+    speedup = BASELINE_WALL_S / wall
+    lines = [
+        "BENCH_kernel — A10 single-replica hot path (seed 1, 8 s horizon)",
+        f"  baseline (pre-PR kernel): {BASELINE_WALL_S:.3f} s wall, "
+        f"{BASELINE_EVENTS} events, {BASELINE_EVENTS / BASELINE_WALL_S:,.0f} ev/s",
+        f"  optimized kernel:         {wall:.3f} s wall, "
+        f"{events} events, {events / wall:,.0f} ev/s",
+        f"  speedup: {speedup:.2f}x (gate: >= {MIN_SPEEDUP:g}x)",
+    ]
+    emit(
+        "BENCH_kernel",
+        "\n".join(lines),
+        data={
+            "baseline_wall_s": BASELINE_WALL_S,
+            "baseline_events": BASELINE_EVENTS,
+            "wall_s": round(wall, 4),
+            "events": events,
+            "events_per_s": round(events / wall, 1),
+            "speedup": round(speedup, 2),
+            "min_speedup": MIN_SPEEDUP,
+            "rounds": ROUNDS,
+        },
+    )
+    assert events == BASELINE_EVENTS, (
+        f"event count diverged from the pre-PR kernel: {events} != "
+        f"{BASELINE_EVENTS} — the optimization changed observable behaviour"
+    )
+    if MIN_SPEEDUP > 0:
+        assert speedup >= MIN_SPEEDUP, (
+            f"single-replica speedup {speedup:.2f}x below the {MIN_SPEEDUP:g}x "
+            "gate (set REPRO_KERNEL_MIN_SPEEDUP to recalibrate on slower "
+            "hardware)"
+        )

@@ -65,19 +65,23 @@ class _HookFreeSimulator(Simulator):
             raise SimulationError("run_until is not reentrant")
         self._running = True
         executed = 0
+        heap = self._heap
+        heappop = heapq.heappop
+        limit = -1 if max_events is None else int(max_events)
         try:
-            while self._heap:
-                time_, _priority, seq, event = self._heap[0]
+            while heap:
+                head = heap[0]
+                time_ = head[0]
                 if time_ > horizon:
                     break
-                heapq.heappop(self._heap)
-                if seq in self._cancelled:
-                    self._cancelled.discard(seq)
+                heappop(heap)
+                event = head[3]
+                if event.cancelled:
                     continue
                 self._now = time_
                 self._events_processed += 1
                 executed += 1
-                if max_events is not None and executed > max_events:
+                if executed > limit >= 0:
                     raise SimulationError(
                         f"exceeded max_events={max_events} before horizon"
                     )

@@ -172,6 +172,11 @@ class Cluster:
 
         self._started = False
         self.slots_elapsed = 0
+        # Per-sender receiver rows (name, component, membership, sync),
+        # built lazily: the component set and its services are fixed for
+        # the cluster's lifetime, so the per-slot delivery loop walks a
+        # precomputed tuple instead of re-filtering the component dict.
+        self._peer_rows: dict[str, tuple] = {}
 
     # -- validation ---------------------------------------------------------
 
@@ -338,18 +343,25 @@ class Cluster:
         deliveries: dict[str, Delivery],
         now: int,
     ) -> None:
-        for name, component in self.components.items():
-            if name == slot.sender:
-                continue
+        rows = self._peer_rows.get(slot.sender)
+        if rows is None:
+            rows = tuple(
+                (name, comp, self.memberships[name], self.sync_services[name])
+                for name, comp in self.components.items()
+                if name != slot.sender
+            )
+            self._peer_rows[slot.sender] = rows
+        get_delivery = deliveries.get
+        for name, component, membership, sync_service in rows:
             receiving = component.operational(now)
-            delivery = deliveries.get(name)
+            delivery = get_delivery(name)
             ok = (
                 receiving
                 and delivery is not None
                 and delivery.status is DeliveryStatus.RECEIVED
             )
             if receiving:
-                self.memberships[name].observe(slot.sender, ok, now)
+                membership.observe(slot.sender, ok, now)
             if not receiving:
                 continue
             if delivery is None or delivery.status is DeliveryStatus.OMITTED:
@@ -372,7 +384,7 @@ class Cluster:
             deviation = received.send_time_us - (
                 slot.start_us + component.clock.error(now)
             )
-            self.sync_services[name].observe(deviation)
+            sync_service.observe(deviation)
             self._deliver_payload(name, component, received, now)
             for consumer in self.payload_consumers:
                 consumer(name, received, now)

@@ -95,6 +95,13 @@ class Component:
         self.partitions: dict[str, Partition] = {
             p.name: Partition(p) for p in spec.partitions
         }
+        # Partition set is fixed after construction (maintenance swaps job
+        # specs in place), so per-slot job iteration and by-name lookup run
+        # off precomputed tables.
+        self._job_items: tuple[tuple[str, Job], ...] = tuple(
+            (p.job.name, p.job) for p in self.partitions.values()
+        )
+        self._jobs_by_name: dict[str, Job] = dict(self._job_items)
         self.clock = LocalClock(drift_ppm=spec.drift_ppm, rng=rng)
         self.hardware = HardwareState()
         #: Incremented on every FRU replacement; fault effects scheduled
@@ -106,18 +113,18 @@ class Component:
     # -- structure ----------------------------------------------------------
 
     def jobs(self) -> list[Job]:
-        return [p.job for p in self.partitions.values()]
+        return [job for _, job in self._job_items]
 
     def job(self, name: str) -> Job:
-        for partition in self.partitions.values():
-            if partition.job.name == name:
-                return partition.job
-        raise ConfigurationError(
-            f"component {self.name!r} hosts no job {name!r}"
-        )
+        job = self._jobs_by_name.get(name)
+        if job is None:
+            raise ConfigurationError(
+                f"component {self.name!r} hosts no job {name!r}"
+            )
+        return job
 
     def hosts_job(self, name: str) -> bool:
-        return any(p.job.name == name for p in self.partitions.values())
+        return name in self._jobs_by_name
 
     def das_names(self) -> frozenset[str]:
         """All DASs with at least one job on this component."""
@@ -144,8 +151,7 @@ class Component:
         if not self.operational(now_us):
             return {}
         return {
-            partition.job.name: partition.job.dispatch(now_us)
-            for partition in self.partitions.values()
+            name: job.dispatch(now_us) for name, job in self._job_items
         }
 
     def build_frame(

@@ -169,6 +169,23 @@ class Job:
         self.ports: dict[str, Port] = {
             p.name: Port(p, spec.name) for p in spec.ports
         }
+        # The port set and each port's direction are fixed for the life of
+        # the job (maintenance swaps a port's *spec* in place, never the
+        # Port object), so the direction partitions and the dispatch input
+        # mapping are computed once instead of per dispatch.
+        self._out_ports: tuple[Port, ...] = tuple(
+            p
+            for p in self.ports.values()
+            if p.spec.direction is PortDirection.OUT
+        )
+        self._in_ports: tuple[Port, ...] = tuple(
+            p
+            for p in self.ports.values()
+            if p.spec.direction is PortDirection.IN
+        )
+        self._inputs: dict[str, Port] = {
+            p.spec.name: p for p in self._in_ports
+        }
         self.state: dict[str, Any] = {}
         self.sensors: dict[str, float] = {}
         self.dispatch_count = 0
@@ -189,18 +206,10 @@ class Job:
     # -- port helpers -----------------------------------------------------
 
     def out_ports(self) -> list[Port]:
-        return [
-            p
-            for p in self.ports.values()
-            if p.spec.direction is PortDirection.OUT
-        ]
+        return list(self._out_ports)
 
     def in_ports(self) -> list[Port]:
-        return [
-            p
-            for p in self.ports.values()
-            if p.spec.direction is PortDirection.IN
-        ]
+        return list(self._in_ports)
 
     def port(self, name: str) -> Port:
         try:
@@ -238,7 +247,7 @@ class Job:
         ctx = DispatchContext(
             now_us=now_us,
             dispatch_index=self.dispatch_count - 1,
-            inputs={p.spec.name: p for p in self.in_ports()},
+            inputs=self._inputs,
             state=self.state,
             sensors=self.read_sensors(),
         )
@@ -249,9 +258,9 @@ class Job:
         messages: list[Message] = []
         for port_name, value in outputs.items():
             targets = (
-                self.out_ports()
+                self._out_ports
                 if port_name == "*"
-                else [self.port(port_name)]
+                else (self.port(port_name),)
             )
             for port in targets:
                 if port.spec.direction is not PortDirection.OUT:

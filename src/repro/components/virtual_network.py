@@ -84,6 +84,9 @@ class VirtualNetwork:
             self._routes[key] = link.destinations
         self.tx_overflows = 0
         self.messages_routed = 0
+        #: Bumped whenever the routing table changes; observers (e.g. the
+        #: detector's expected-source tables) key their caches on it.
+        self.routes_version = 0
 
     # -- configuration ------------------------------------------------------
 
@@ -92,6 +95,7 @@ class VirtualNetwork:
         if key in self._routes:
             raise ConfigurationError(f"duplicate VN link source {link.source}")
         self._routes[key] = link.destinations
+        self.routes_version += 1
 
     def sources(self) -> list[PortAddress]:
         return [PortAddress(j, p) for (j, p) in self._routes]

@@ -98,6 +98,16 @@ class DiagnosticAssessment:
         self._window: list[Symptom] = []
         self._seen_keys: set[tuple] = set()
         self._pending: list[Symptom] = []
+        # Incremental per-type window index: window-ordered (seq, symptom)
+        # lists, extended on intake and rebuilt only on eviction.  The
+        # cumulative intake counts plus the eviction generation form the
+        # ONAs' change tokens (the dirty-flag contract — see
+        # docs/performance.md).
+        self._window_index: dict[SymptomType, list[tuple[int, Symptom]]] = {}
+        self._window_seq = 0
+        self._appended_counts: dict[SymptomType, int] = {}
+        self._prune_gen = 0
+        self._window_min_point: int | None = None
         self.symptoms_total = 0
         self.symptoms_deduplicated = 0
         self.epochs_run = 0
@@ -157,14 +167,19 @@ class DiagnosticAssessment:
         try:
             new_symptoms = self._pending
             self._pending = []
-            self._window.extend(new_symptoms)
+            self._extend_window(new_symptoms)
             self._prune_window(now_us)
 
+            # The window is shared by reference: ONAs only read it, and
+            # nothing mutates it until the next epoch's extend/prune.
             ctx = OnaContext(
                 now_us=int(now_us),
                 time_base=self.time_base,
-                window=list(self._window),
+                window=self._window,
                 topology=self.topology,
+                index=self._window_index,
+                appended=self._appended_counts,
+                prune_gen=self._prune_gen,
             )
             triggers: list[OnaTrigger] = []
             for ona in self.onas:
@@ -196,10 +211,58 @@ class DiagnosticAssessment:
             if span is not None:
                 span.__exit__(None, None, None)
 
+    def _extend_window(self, new_symptoms: list[Symptom]) -> None:
+        """Append accepted symptoms to the window and its per-type index."""
+        if not new_symptoms:
+            return
+        index = self._window_index
+        counts = self._appended_counts
+        seq = self._window_seq
+        min_point = self._window_min_point
+        for s in new_symptoms:
+            seq += 1
+            t = s.type
+            lst = index.get(t)
+            if lst is None:
+                index[t] = [(seq, s)]
+            else:
+                lst.append((seq, s))
+            counts[t] = counts.get(t, 0) + 1
+            p = s.lattice_point
+            if min_point is None or p < min_point:
+                min_point = p
+        self._window_seq = seq
+        self._window_min_point = min_point
+        self._window.extend(new_symptoms)
+
+    def _rebuild_index(self) -> None:
+        """Re-derive the per-type index after an eviction.
+
+        Bumps the prune generation so every outstanding ONA change token
+        is invalidated — an evicted symptom can change a verdict just as
+        an appended one can.
+        """
+        index: dict[SymptomType, list[tuple[int, Symptom]]] = {}
+        seq = 0
+        min_point: int | None = None
+        for s in self._window:
+            seq += 1
+            index.setdefault(s.type, []).append((seq, s))
+            p = s.lattice_point
+            if min_point is None or p < min_point:
+                min_point = p
+        self._window_index = index
+        self._window_seq = seq
+        self._window_min_point = min_point
+        self._prune_gen += 1
+
     def _prune_window(self, now_us: int) -> None:
         horizon = self.time_base.lattice_point(now_us) - self.window_points
-        if horizon <= 0:
+        if horizon <= 0 or not self._window:
             return
+        min_point = self._window_min_point
+        if min_point is not None and min_point >= horizon:
+            return  # nothing old enough to evict — O(1) common case
         kept = [s for s in self._window if s.lattice_point >= horizon]
         if len(kept) != len(self._window):
             dropped = {
@@ -207,6 +270,7 @@ class DiagnosticAssessment:
             }
             self._seen_keys -= dropped
             self._window = kept
+            self._rebuild_index()
 
     def _feed_alpha_counts(
         self,
@@ -286,6 +350,7 @@ class DiagnosticAssessment:
             keys = {s.key() for s in stale}
             self._seen_keys -= keys
             self._window = [s for s in self._window if s not in stale]
+            self._rebuild_index()
 
     # -- outputs --------------------------------------------------------------
 

@@ -15,9 +15,11 @@ classifier and the trust bank.
 
 from __future__ import annotations
 
+import heapq
 import math
 from abc import ABC, abstractmethod
 from collections import Counter, defaultdict
+from collections.abc import Mapping
 from dataclasses import dataclass, field
 
 from repro.core.fault_model import (
@@ -39,35 +41,106 @@ from repro.tta.time_base import SparseTimeBase
 
 @dataclass(frozen=True, slots=True)
 class Topology:
-    """Static cluster facts the ONAs reason over (space dimension)."""
+    """Static cluster facts the ONAs reason over (space dimension).
+
+    The facts are immutable, so derived queries (:meth:`jobs_on`,
+    :meth:`distance`) memoise on first use — they sit inside the per-epoch
+    ONA loops and would otherwise rescan the job map / recompute the
+    hypotenuse thousands of times per run.
+    """
 
     positions: dict[str, tuple[float, float]]
     component_of_job: dict[str, str]
     das_of_job: dict[str, str]
     channels: int
+    _jobs_cache: dict[str, list[str]] = field(
+        default_factory=dict, compare=False, repr=False
+    )
+    _distance_cache: dict[tuple[str, str], float] = field(
+        default_factory=dict, compare=False, repr=False
+    )
 
     def jobs_on(self, component: str) -> list[str]:
-        return [
-            j for j, c in self.component_of_job.items() if c == component
-        ]
+        jobs = self._jobs_cache.get(component)
+        if jobs is None:
+            jobs = [
+                j for j, c in self.component_of_job.items() if c == component
+            ]
+            self._jobs_cache[component] = jobs
+        return jobs
 
     def distance(self, a: str, b: str) -> float:
-        pa, pb = self.positions[a], self.positions[b]
-        return math.hypot(pa[0] - pb[0], pa[1] - pb[1])
+        key = (a, b)
+        d = self._distance_cache.get(key)
+        if d is None:
+            pa, pb = self.positions[a], self.positions[b]
+            d = math.hypot(pa[0] - pb[0], pa[1] - pb[1])
+            self._distance_cache[key] = d
+        return d
 
 
 @dataclass(slots=True)
 class OnaContext:
-    """Evaluation context for one assessment epoch."""
+    """Evaluation context for one assessment epoch.
+
+    When built by :class:`repro.core.assessment.DiagnosticAssessment`, the
+    context carries the assessment's *incremental* per-type window index
+    (``index``: window-ordered ``(seq, symptom)`` lists per type, maintained
+    by append/evict deltas) plus the change-token inputs (``appended``
+    cumulative per-type intake counts and the ``prune_gen`` eviction
+    generation).  :meth:`by_type` then answers from the index — no
+    full-window rescan, no enum hashing — and memoises per type-tuple, so
+    ONAs sharing a query share one materialisation per epoch.  Contexts
+    constructed without an index (unit tests, ad-hoc callers) fall back to
+    scanning ``window``; results are identical either way.
+    """
 
     now_us: int
     time_base: SparseTimeBase
     window: list[Symptom]
     topology: Topology
+    index: dict[SymptomType, list[tuple[int, Symptom]]] | None = None
+    appended: Mapping[SymptomType, int] | None = None
+    prune_gen: int = 0
+    _type_cache: dict[tuple[SymptomType, ...], list[Symptom]] = field(
+        default_factory=dict
+    )
 
     def by_type(self, *types: SymptomType) -> list[Symptom]:
-        wanted = set(types)
-        return [s for s in self.window if s.type in wanted]
+        got = self._type_cache.get(types)
+        if got is not None:
+            return got
+        index = self.index
+        if index is not None:
+            lists = [lst for lst in (index.get(t) for t in types) if lst]
+            if not lists:
+                got = []
+            elif len(lists) == 1:
+                got = [s for _, s in lists[0]]
+            else:
+                # Unique global seqs merge the per-type lists back into
+                # window order without ever comparing symptoms.
+                got = [s for _, s in heapq.merge(*lists)]
+        elif len(types) == 1:
+            t0 = types[0]
+            got = [s for s in self.window if s.type is t0]
+        else:
+            got = [s for s in self.window if s.type in types]
+        self._type_cache[types] = got
+        return got
+
+    def change_token(self, types: tuple[SymptomType, ...]) -> tuple | None:
+        """Opaque token that changes iff the watched slice may have changed.
+
+        Equality of two epochs' tokens guarantees the window restricted to
+        ``types`` is identical (same appends, no eviction in between) — the
+        dirty-flag contract ONAs use to skip re-evaluation.  ``None`` when
+        the context has no intake accounting (no skipping possible).
+        """
+        appended = self.appended
+        if appended is None:
+            return None
+        return (self.prune_gen, tuple(appended.get(t, 0) for t in types))
 
 
 @dataclass(frozen=True, slots=True)
@@ -93,12 +166,24 @@ class OutOfNormAssertion(ABC):
     inflate evidence).  Subclasses guard each trigger with :meth:`_once`,
     keyed by a stable identity of the firing evidence; growing evidence
     (more episodes, more symptoms) yields new keys and hence new triggers.
+
+    ``watch`` declares the symptom types an ONA's verdict depends on.  When
+    the context's change token for those types matches the previous
+    evaluation's, the watched window slice is unchanged — a re-run would
+    regenerate exactly the keys already in ``_fired`` and return nothing —
+    so evaluation is skipped outright (the dirty-flag short-circuit; see
+    ``docs/performance.md``).  ONAs whose predicate also depends on the
+    passage of time itself (e.g. a quiet-period wait) must leave ``watch``
+    as ``None`` and run every epoch.
     """
 
     name: str = "ona"
+    #: Symptom types the predicate reads; ``None`` disables skipping.
+    watch: tuple[SymptomType, ...] | None = None
 
     def __init__(self) -> None:
         self._fired: set[tuple] = set()
+        self._skip_token: tuple | None = None
 
     def _once(self, *key) -> bool:
         """True exactly once per distinct key."""
@@ -115,6 +200,20 @@ class OutOfNormAssertion(ABC):
     def evaluate(self, ctx: OnaContext) -> list[OnaTrigger]:
         """Return all *new* triggers for the current window."""
 
+    def _evaluate_guarded(self, ctx: OnaContext) -> list[OnaTrigger]:
+        """:meth:`evaluate` behind the watched-types dirty flag."""
+        watch = self.watch
+        if watch is None:
+            return self.evaluate(ctx)
+        token = ctx.change_token(watch)
+        if token is None:
+            return self.evaluate(ctx)
+        if token == self._skip_token:
+            return []
+        triggers = self.evaluate(ctx)
+        self._skip_token = token
+        return triggers
+
     def run(self, ctx: OnaContext) -> list[OnaTrigger]:
         """:meth:`evaluate` under the active observability context.
 
@@ -125,11 +224,11 @@ class OutOfNormAssertion(ABC):
         """
         obs = _obs.ACTIVE
         if not obs.enabled:
-            return self.evaluate(ctx)
+            return self._evaluate_guarded(ctx)
         with obs.tracer.span(
             f"ona.{self.name}", t_sim_us=ctx.now_us, window=len(ctx.window)
         ):
-            triggers = self.evaluate(ctx)
+            triggers = self._evaluate_guarded(ctx)
         for trigger in triggers:
             obs.counters.inc(
                 "ona.triggers",
@@ -154,6 +253,7 @@ class MassiveTransientOna(OutOfNormAssertion):
     component-external disturbance (EMI, radiation)."""
 
     name = "massive-transient"
+    watch = (SymptomType.CRC_ERROR, SymptomType.OMISSION)
 
     def __init__(
         self,
@@ -243,33 +343,54 @@ class ConnectorOna(OutOfNormAssertion):
     """
 
     name = "connector"
+    watch = (SymptomType.CHANNEL_OMISSION,)
 
     def __init__(self, min_events: int = 3) -> None:
         super().__init__()
         self.min_events = min_events
+        # Incremental per-channel tallies: [n, subjects, observers,
+        # involvement], extended by the appended delta each dirty epoch
+        # and rebuilt from scratch when the window evicted (generation
+        # mismatch).  Incremental counting preserves Counter insertion
+        # order — and hence ``most_common`` tie-breaking — exactly as a
+        # fresh pass over the full list would.
+        self._gen: int | None = None
+        self._counted = 0
+        self._channels: dict[int, list] = {}
+
+    def _tally(self, ctx: OnaContext) -> dict[int, list]:
+        symptoms = ctx.by_type(SymptomType.CHANNEL_OMISSION)
+        if self._gen != ctx.prune_gen or self._counted > len(symptoms):
+            self._gen = ctx.prune_gen
+            self._counted = 0
+            self._channels = {}
+        channels = self._channels
+        for s in symptoms[self._counted :]:
+            if s.channel is None:
+                continue
+            data = channels.get(s.channel)
+            if data is None:
+                data = channels[s.channel] = [0, Counter(), Counter(), Counter()]
+            data[0] += 1
+            data[1][s.subject_component] += 1
+            data[2][s.observer] += 1
+            data[3][s.subject_component] += 1
+            data[3][s.observer] += 1
+        self._counted = len(symptoms)
+        return channels
 
     def evaluate(self, ctx: OnaContext) -> list[OnaTrigger]:
         triggers: list[OnaTrigger] = []
-        by_channel: dict[int, list[Symptom]] = defaultdict(list)
-        for s in ctx.by_type(SymptomType.CHANNEL_OMISSION):
-            if s.channel is not None:
-                by_channel[s.channel].append(s)
-        for channel, symptoms in by_channel.items():
-            if len(symptoms) < self.min_events:
+        for channel, (n, subjects, observers, involvement) in self._tally(
+            ctx
+        ).items():
+            if n < self.min_events:
                 continue
-            subjects = Counter(s.subject_component for s in symptoms)
-            observers = Counter(s.observer for s in symptoms)
-            dominant_subject, subject_share = _dominant(subjects, len(symptoms))
-            dominant_observer, observer_share = _dominant(
-                observers, len(symptoms)
-            )
+            dominant_subject, subject_share = _dominant(subjects, n)
+            dominant_observer, observer_share = _dominant(observers, n)
             # Hub test: one component involved (as sender or receiver) in
             # nearly every omission on this channel -> its connector; a
             # loom fault involves all pairings with no single hub.
-            involvement: Counter[str] = Counter()
-            for s in symptoms:
-                involvement[s.subject_component] += 1
-                involvement[s.observer] += 1
             hub, hub_count = involvement.most_common(1)[0]
             runner_up = (
                 involvement.most_common(2)[1][1]
@@ -280,10 +401,7 @@ class ConnectorOna(OutOfNormAssertion):
                 culprit, role = dominant_subject, "tx"
             elif observer_share >= 0.8 and len(subjects) >= 2:
                 culprit, role = dominant_observer, "rx"
-            elif (
-                hub_count >= 0.95 * len(symptoms)
-                and hub_count >= 2 * runner_up
-            ):
+            elif hub_count >= 0.95 * n and hub_count >= 2 * runner_up:
                 culprit, role = hub, "tx+rx"
             elif len(subjects) >= 2 and len(observers) >= 2:
                 culprit, role = f"loom-channel-{channel}", "wiring"
@@ -292,7 +410,7 @@ class ConnectorOna(OutOfNormAssertion):
                 # attribute to the subject's connector (tx side).
                 culprit, role = dominant_subject, "tx"
             if not self._once(
-                channel, culprit, self._bucket(len(symptoms), self.min_events)
+                channel, culprit, self._bucket(n, self.min_events)
             ):
                 continue
             triggers.append(
@@ -301,8 +419,8 @@ class ConnectorOna(OutOfNormAssertion):
                     fault_class=FaultClass.COMPONENT_BORDERLINE,
                     subject=component_fru(culprit),
                     time_us=ctx.now_us,
-                    confidence=min(1.0, len(symptoms) / (2.0 * self.min_events)),
-                    evidence=len(symptoms),
+                    confidence=min(1.0, n / (2.0 * self.min_events)),
+                    evidence=n,
                     pattern=CONNECTOR_PATTERN,
                     detail=f"channel {channel}, {role} side",
                 )
@@ -315,6 +433,7 @@ class WearoutOna(OutOfNormAssertion):
     frequency rises as time progresses — the paper's wearout indicator."""
 
     name = "wearout"
+    watch = (SymptomType.OMISSION,)
 
     def __init__(self, min_episodes: int = 6, trend_factor: float = 2.0) -> None:
         super().__init__()
@@ -366,6 +485,11 @@ class CorrelatedJobFailureOna(OutOfNormAssertion):
     fault."""
 
     name = "correlated-job-failure"
+    watch = (
+        SymptomType.VALUE_VIOLATION,
+        SymptomType.OMISSION,
+        SymptomType.REPLICA_DEVIATION,
+    )
 
     def __init__(self, min_dases: int = 2, delta_points: int = 1) -> None:
         super().__init__()
@@ -375,14 +499,12 @@ class CorrelatedJobFailureOna(OutOfNormAssertion):
     def evaluate(self, ctx: OnaContext) -> list[OnaTrigger]:
         job_symptoms = [
             s
-            for s in ctx.window
-            if s.subject_job is not None
-            and s.type
-            in (
+            for s in ctx.by_type(
                 SymptomType.VALUE_VIOLATION,
                 SymptomType.OMISSION,
                 SymptomType.REPLICA_DEVIATION,
             )
+            if s.subject_job is not None
         ]
         if not job_symptoms:
             return []
@@ -431,6 +553,15 @@ class SingleJobOna(OutOfNormAssertion):
     cannot distinguish the two."""
 
     name = "single-job"
+    watch = (
+        SymptomType.VALUE_VIOLATION,
+        SymptomType.OMISSION,
+        SymptomType.REPLICA_DEVIATION,
+        SymptomType.SENSOR_IMPLAUSIBLE,
+        SymptomType.VN_BUDGET_OVERFLOW,
+        SymptomType.CRC_ERROR,
+        SymptomType.TIMING_VIOLATION,
+    )
 
     def __init__(
         self,
@@ -446,15 +577,13 @@ class SingleJobOna(OutOfNormAssertion):
     def evaluate(self, ctx: OnaContext) -> list[OnaTrigger]:
         value_symptoms = [
             s
-            for s in ctx.window
-            if s.subject_job is not None
-            and s.type
-            in (
+            for s in ctx.by_type(
                 SymptomType.VALUE_VIOLATION,
                 SymptomType.OMISSION,
                 SymptomType.REPLICA_DEVIATION,
                 SymptomType.SENSOR_IMPLAUSIBLE,
             )
+            if s.subject_job is not None
         ]
         if not value_symptoms:
             return []
@@ -462,13 +591,11 @@ class SingleJobOna(OutOfNormAssertion):
         # there have a configuration explanation (ConfigurationOna's case).
         budget_components = {
             s.subject_component
-            for s in ctx.window
-            if s.type is SymptomType.VN_BUDGET_OVERFLOW
+            for s in ctx.by_type(SymptomType.VN_BUDGET_OVERFLOW)
         }
         sensor_flags = {
             s.subject_job
-            for s in ctx.window
-            if s.type is SymptomType.SENSOR_IMPLAUSIBLE
+            for s in ctx.by_type(SymptomType.SENSOR_IMPLAUSIBLE)
         }
         # Component-level failure evidence, per lattice point: a job
         # symptom raised while its host component itself was failing is a
@@ -477,12 +604,12 @@ class SingleJobOna(OutOfNormAssertion):
         # disturbance must not veto job-level attribution for the rest of
         # the window.
         hw_failure_points: dict[str, set[int]] = defaultdict(set)
-        for s in ctx.window:
-            if s.subject_job is None and s.type in (
-                SymptomType.OMISSION,
-                SymptomType.CRC_ERROR,
-                SymptomType.TIMING_VIOLATION,
-            ):
+        for s in ctx.by_type(
+            SymptomType.OMISSION,
+            SymptomType.CRC_ERROR,
+            SymptomType.TIMING_VIOLATION,
+        ):
+            if s.subject_job is None:
                 hw_failure_points[s.subject_component].add(s.lattice_point)
 
         def hw_explained(symptom: Symptom) -> bool:
@@ -551,6 +678,10 @@ class IsolatedTransientOna(OutOfNormAssertion):
     i.e. the failure did *not* recur.  Recurring failures are the
     alpha-count's and the wearout ONA's case (§V-C: internal transients
     recur at the same location; isolated ones do not warrant maintenance).
+
+    ``watch`` stays ``None``: the quiet-period predicate depends on the
+    current lattice point, so the ONA can newly fire on an *unchanged*
+    window and must run every epoch.
     """
 
     name = "isolated-transient"
@@ -601,6 +732,11 @@ class ConfigurationOna(OutOfNormAssertion):
     causing system malfunction' (§III-D)."""
 
     name = "configuration"
+    watch = (
+        SymptomType.QUEUE_OVERFLOW,
+        SymptomType.VN_BUDGET_OVERFLOW,
+        SymptomType.VALUE_VIOLATION,
+    )
 
     def __init__(self, min_events: int = 2) -> None:
         super().__init__()
@@ -648,6 +784,7 @@ class TimingOna(OutOfNormAssertion):
     component-internal fault of the timing source (quartz, §IV-A.1c)."""
 
     name = "timing"
+    watch = (SymptomType.TIMING_VIOLATION, SymptomType.GUARDIAN_BLOCK)
 
     def __init__(self, min_events: int = 3) -> None:
         super().__init__()

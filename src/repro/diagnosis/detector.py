@@ -118,6 +118,15 @@ class DetectionService:
         self._membership_transitions_seen: dict[str, int] = {}
         self._guardian_blocks_seen: dict[str, int] = {}
         self.symptoms_emitted = 0
+        # Hot-path caches over facts that are static for the cluster's
+        # lifetime (component set, port directions/kinds, job placement) or
+        # keyed to an explicit version (VN routing tables) — see
+        # docs/performance.md for the invalidation contract.
+        self._peers: dict[str, tuple[tuple[str, object], ...]] = {}
+        self._value_specs: dict[tuple[str, str], object] = {}
+        self._expected_versions: tuple[int, ...] | None = None
+        self._expected_sources: dict[str, tuple[tuple[str, str], ...]] = {}
+        self._event_ports: list | None = None
         cluster.frame_observers.append(self._on_slot)
 
     # -- configuration ------------------------------------------------------
@@ -155,10 +164,16 @@ class DetectionService:
     ) -> None:
         cluster = self.cluster
         lattice = cluster.time_base.lattice_point(now_us)
+        peers = self._peers.get(slot.sender)
+        if peers is None:
+            peers = tuple(
+                (name, comp)
+                for name, comp in cluster.components.items()
+                if name != slot.sender
+            )
+            self._peers[slot.sender] = peers
         receivers = [
-            (name, comp)
-            for name, comp in cluster.components.items()
-            if name != slot.sender and comp.operational(now_us)
+            (name, comp) for name, comp in peers if comp.operational(now_us)
         ]
 
         if frame is None:
@@ -262,19 +277,30 @@ class DetectionService:
         lattice: int,
     ) -> None:
         cluster = self.cluster
-        sender_component = cluster.components[slot.sender]
         present: set[tuple[str, str]] = set()
+        value_specs = self._value_specs
         for vn_name, messages in frame.payload.items():
             vn = cluster.vns.get(vn_name)
             if vn is None:
                 continue  # foreign payload (e.g. the diagnostic VN)
             for message in messages:
-                present.add((message.source_job, message.port))
+                key = (message.source_job, message.port)
+                present.add(key)
                 try:
-                    source_job = cluster.job(message.source_job)
-                except Exception:
+                    spec = value_specs[key]
+                except KeyError:
+                    # Maintenance swaps job/port specs in place but reuses
+                    # the PortSpec objects, so the value spec resolved once
+                    # stays the live one.  Unknown source jobs cache None.
+                    try:
+                        source_job = cluster.job(message.source_job)
+                    except Exception:
+                        spec = None
+                    else:
+                        spec = source_job.spec.port(message.port).value_spec
+                    value_specs[key] = spec
+                if spec is None:
                     continue
-                spec = source_job.spec.port(message.port).value_spec
                 if not spec.conforms(message.value):
                     self._emit(
                         Symptom(
@@ -305,54 +331,87 @@ class DetectionService:
                     )
         # Job-level omissions: expected periodic sources hosted on the
         # sender that contributed nothing to this frame.
-        for vn in cluster.vns.values():
-            for source in vn.sources():
-                if cluster.job_location.get(source.job) != slot.sender:
-                    continue
-                job = sender_component.job(source.job)
-                port_spec = job.spec.port(source.port)
-                if port_spec.period_slots != 1:
-                    continue
-                if (source.job, source.port) not in present:
-                    self._emit(
-                        Symptom(
-                            type=SymptomType.OMISSION,
-                            observer=observer,
-                            subject_component=slot.sender,
-                            time_us=now_us,
-                            lattice_point=lattice,
-                            subject_job=source.job,
-                            detail=f"port {source.port}",
-                        )
+        for job_name, port_name in self._expected_for(slot.sender):
+            if (job_name, port_name) not in present:
+                self._emit(
+                    Symptom(
+                        type=SymptomType.OMISSION,
+                        observer=observer,
+                        subject_component=slot.sender,
+                        time_us=now_us,
+                        lattice_point=lattice,
+                        subject_job=job_name,
+                        detail=f"port {port_name}",
                     )
+                )
+
+    def _expected_for(self, sender: str) -> tuple[tuple[str, str], ...]:
+        """Periodic VN sources hosted on ``sender`` (expected every slot).
+
+        Derived from the VN routing tables; rebuilt whenever any VN's
+        ``routes_version`` changes (link added), otherwise served from the
+        per-sender cache.  Placement and port periods are fixed for the
+        cluster's lifetime.
+        """
+        cluster = self.cluster
+        versions = tuple(vn.routes_version for vn in cluster.vns.values())
+        if versions != self._expected_versions:
+            self._expected_versions = versions
+            self._expected_sources = {}
+        expected = self._expected_sources.get(sender)
+        if expected is None:
+            sender_component = cluster.components[sender]
+            out = []
+            for vn in cluster.vns.values():
+                for source in vn.sources():
+                    if cluster.job_location.get(source.job) != sender:
+                        continue
+                    job = sender_component.job(source.job)
+                    if job.spec.port(source.port).period_slots != 1:
+                        continue
+                    out.append((source.job, source.port))
+            expected = tuple(out)
+            self._expected_sources[sender] = expected
+        return expected
 
     # -- round-granular polls ---------------------------------------------------
 
     def _poll_overflows(self, now_us: int, lattice: int) -> None:
         cluster = self.cluster
-        for name, component in cluster.components.items():
+        rows = self._event_ports
+        if rows is None:
+            # Port kinds and directions are fixed for the cluster's
+            # lifetime (resize_queue swaps the spec but keeps both), so the
+            # EVENT-kind IN ports worth polling are enumerated once.
+            rows = [
+                (name, component, job, port)
+                for name, component in cluster.components.items()
+                for job in component.jobs()
+                for port in job.in_ports()
+                if port.spec.kind is PortKind.EVENT
+            ]
+            self._event_ports = rows
+        overflow_seen = self._queue_overflow_seen
+        for name, component, job, port in rows:
             if not component.operational(now_us):
                 continue
-            for job in component.jobs():
-                for port in job.in_ports():
-                    if port.spec.kind is not PortKind.EVENT:
-                        continue
-                    key = (job.name, port.spec.name)
-                    seen = self._queue_overflow_seen.get(key, 0)
-                    if port.overflow_count > seen:
-                        self._queue_overflow_seen[key] = port.overflow_count
-                        self._emit(
-                            Symptom(
-                                type=SymptomType.QUEUE_OVERFLOW,
-                                observer=name,
-                                subject_component=name,
-                                time_us=now_us,
-                                lattice_point=lattice,
-                                subject_job=job.name,
-                                magnitude=float(port.overflow_count - seen),
-                                detail=f"port {port.spec.name}",
-                            )
-                        )
+            count = port.overflow_count
+            key = (job.name, port.spec.name)
+            seen = overflow_seen.get(key, 0)
+            if count > seen:
+                overflow_seen[key] = count
+                self._emit(
+                    Symptom(
+                        type=SymptomType.QUEUE_OVERFLOW,
+                        observer=name,
+                        subject_component=name,
+                        time_us=now_us,
+                        lattice_point=lattice,
+                        subject_job=job.name,
+                        magnitude=float(count - seen),
+                        detail=f"port {port.spec.name}",
+                    )
+                )
         for vn_name, vn in cluster.vns.items():
             seen = self._vn_overflow_seen.get(vn_name, 0)
             if vn.tx_overflows > seen:
@@ -382,11 +441,12 @@ class DetectionService:
         for name, membership in cluster.memberships.items():
             if not cluster.components[name].operational(now_us):
                 continue
+            transitions = membership.transitions
             seen = self._membership_transitions_seen.get(name, 0)
-            new = membership.transitions[seen:]
-            self._membership_transitions_seen[name] = len(
-                membership.transitions
-            )
+            if len(transitions) == seen:
+                continue  # nothing new — skip the slice allocation
+            new = transitions[seen:]
+            self._membership_transitions_seen[name] = len(transitions)
             for t_us, sender, joined in new:
                 if joined:
                     continue

@@ -38,6 +38,13 @@ def run_campaign_replica(replica: ReplicaTask) -> CampaignReplicaOutcome:
     both derive from ``(root_seed, index)`` alone, so the outcome is
     reproducible independent of where or when the replica executes.
     """
+    # Each replica needs a fresh *runtime* cluster — its named RNG streams
+    # are seeded from replica.state_seed(), so a shared Cluster object
+    # would entangle the replicas' draw sequences.  The expensive
+    # seed-independent half of construction (the frozen spec graph of
+    # jobs, partitions, components and VN link tables) IS shared: it is
+    # built once and cached by repro.presets._figure10_static, so the
+    # per-replica cost is only the seeded state instantiation.
     spec = replica.spec if replica.spec is not None else CampaignReplicaSpec()
     obs = (
         obs_api.Observability(trace=spec.obs_trace)

@@ -7,6 +7,22 @@ identical event orderings — a prerequisite for reproducible fault traces.
 
 The kernel knows nothing about the DECOS architecture; the TTA network,
 components and fault injectors are all built as event producers on top.
+
+Performance notes (see ``docs/performance.md`` for the full contract):
+
+* **Quiescence fast-forward.**  The run loop advances directly from one
+  scheduled event to the next — a quiescent interval costs zero work, and
+  reaching the horizon with an empty (or future-only) heap is a single
+  assignment.  Producers must therefore never rely on the kernel "ticking"
+  through empty time; anything that needs to observe an instant must
+  schedule an event at it.
+* **O(1) lazy cancellation.**  :meth:`Simulator.cancel` flips a flag on the
+  handle; the heap entry is discarded when it surfaces.  No per-event set
+  lookups on the hot path.
+* **Handle reuse on the periodic path.**  :meth:`Simulator.schedule_periodic`
+  allocates one :class:`ScheduledEvent` and one closure for the whole
+  cascade and re-arms them in place, instead of allocating a fresh handle
+  per tick.
 """
 
 from __future__ import annotations
@@ -14,7 +30,6 @@ from __future__ import annotations
 import heapq
 import itertools
 from collections.abc import Callable
-from dataclasses import dataclass, field
 from typing import Any
 
 from repro.errors import SchedulingError, SimulationError
@@ -36,14 +51,31 @@ PRIORITY_MONITOR = 30  # diagnostic observation of the settled state
 PRIORITY_DEFAULT = 50
 
 
-@dataclass(frozen=True, slots=True)
 class ScheduledEvent:
-    """A handle to a scheduled event; allows cancellation."""
+    """A handle to a scheduled event; allows O(1) cancellation.
 
-    time: int
-    priority: int
-    seq: int
-    callback: EventCallback = field(compare=False)
+    Ordering lives in the heap tuples ``(time, priority, seq, event)``;
+    the handle itself is plain mutable state so the periodic path can
+    re-arm one handle instead of allocating per tick.
+    """
+
+    __slots__ = ("time", "priority", "seq", "callback", "cancelled")
+
+    def __init__(
+        self, time: int, priority: int, seq: int, callback: EventCallback
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.callback = callback
+        self.cancelled = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = " cancelled" if self.cancelled else ""
+        return (
+            f"ScheduledEvent(time={self.time}, priority={self.priority}, "
+            f"seq={self.seq}{state})"
+        )
 
 
 class Simulator:
@@ -64,7 +96,6 @@ class Simulator:
         self._now: int = 0
         self._heap: list[tuple[int, int, int, ScheduledEvent]] = []
         self._seq = itertools.count()
-        self._cancelled: set[int] = set()
         self._running = False
         self._events_processed = 0
 
@@ -82,8 +113,14 @@ class Simulator:
 
     @property
     def pending(self) -> int:
-        """Number of events still queued (including cancelled ones)."""
-        return len(self._heap) - len(self._cancelled)
+        """Number of live events still queued (cancelled ones excluded).
+
+        Computed by scanning the queue: cancellation is a lazy flag flip
+        and may target handles that have already fired (a no-op), so a
+        running counter cannot stay consistent.  The queue is small and
+        this is an inspection-only property, never on the event hot path.
+        """
+        return sum(1 for entry in self._heap if not entry[3].cancelled)
 
     # -- scheduling -------------------------------------------------------
 
@@ -124,8 +161,15 @@ class Simulator:
         return self.schedule_at(self._now + int(delay), callback, priority=priority)
 
     def cancel(self, event: ScheduledEvent) -> None:
-        """Cancel a previously scheduled event (no-op if already run)."""
-        self._cancelled.add(event.seq)
+        """Cancel a previously scheduled event (no-op if already run).
+
+        Cancellation is lazy: the flag is flipped here in O(1) and the
+        dead heap entry is discarded when it reaches the front.  Safe to
+        call on a handle that already fired — a one-shot handle has no
+        queue entry left, so the flag changes nothing; a periodic handle
+        always tracks its next pending tick, which this stops.
+        """
+        event.cancelled = True
 
     def schedule_periodic(
         self,
@@ -134,30 +178,44 @@ class Simulator:
         *,
         start: int | None = None,
         priority: int = PRIORITY_DEFAULT,
-    ) -> None:
+    ) -> ScheduledEvent:
         """Schedule ``callback`` every ``period`` microseconds, forever.
 
         The callback chain re-schedules itself; stop the cascade by running
-        the simulator only up to a horizon.
+        the simulator only up to a horizon, or by cancelling the returned
+        handle (which always tracks the *next* pending tick).
         """
         if period <= 0:
             raise SchedulingError(f"period must be positive, got {period}")
         first = self._now + period if start is None else int(start)
+        if first < self._now:
+            raise SchedulingError(
+                f"cannot schedule at t={first} (now is {self._now})"
+            )
+
+        # One handle and one closure for the whole cascade: each tick
+        # re-arms the same ScheduledEvent with a fresh (time, seq) pair,
+        # preserving the exact ordering a fresh schedule_at would get.
+        take_seq = self._seq
+        heap = self._heap
 
         def tick(sim: Simulator) -> None:
             callback(sim)
-            sim.schedule_at(sim.now + period, tick, priority=priority)
+            handle.time = time = sim._now + period
+            handle.seq = seq = next(take_seq)
+            heapq.heappush(heap, (time, priority, seq, handle))
 
-        self.schedule_at(first, tick, priority=priority)
+        handle = ScheduledEvent(first, priority, next(take_seq), tick)
+        heapq.heappush(heap, (first, priority, handle.seq, handle))
+        return handle
 
     # -- execution --------------------------------------------------------
 
     def step(self) -> bool:
         """Execute the next pending event.  Returns False if queue empty."""
         while self._heap:
-            time, _priority, seq, event = heapq.heappop(self._heap)
-            if seq in self._cancelled:
-                self._cancelled.discard(seq)
+            time, _priority, _seq, event = heapq.heappop(self._heap)
+            if event.cancelled:
                 continue
             if time < self._now:  # pragma: no cover - internal invariant
                 raise SimulationError("event time moved backwards")
@@ -172,6 +230,11 @@ class Simulator:
 
     def run_until(self, horizon: int, *, max_events: int | None = None) -> None:
         """Run all events with ``time <= horizon`` then set now = horizon.
+
+        Quiescent stretches between events are skipped outright: the loop
+        pops the next event regardless of how far ahead it lies, and once
+        the head of the heap is beyond ``horizon`` the remaining interval
+        is crossed with a single ``now = horizon`` assignment.
 
         Parameters
         ----------
@@ -202,19 +265,23 @@ class Simulator:
         )
         if span is not None:
             span.__enter__()
+        heap = self._heap
+        heappop = heapq.heappop
+        limit = -1 if max_events is None else int(max_events)
         try:
-            while self._heap:
-                time, _priority, seq, event = self._heap[0]
+            while heap:
+                head = heap[0]
+                time = head[0]
                 if time > horizon:
                     break
-                heapq.heappop(self._heap)
-                if seq in self._cancelled:
-                    self._cancelled.discard(seq)
+                heappop(heap)
+                event = head[3]
+                if event.cancelled:
                     continue
                 self._now = time
                 self._events_processed += 1
                 executed += 1
-                if max_events is not None and executed > max_events:
+                if executed > limit >= 0:
                     raise SimulationError(
                         f"exceeded max_events={max_events} before horizon"
                     )

@@ -234,25 +234,35 @@ class Bus:
             )
             tx_on_channel.append(not lost)
 
-        sender_flips = self._zone_flips(sender_att.position, now_us)
+        # _zone_flips draws from the RNG only inside an active covering
+        # zone, so skipping the call entirely when no zones exist changes
+        # neither the draw sequence nor the result.
+        zones = self.zones
+        sender_flips = (
+            self._zone_flips(sender_att.position, now_us) if zones else 0
+        )
 
         deliveries: dict[str, Delivery] = {}
+        rng = self._rng
+        channel_range = range(self.channels)
         for name, att in self.attachments.items():
             if name == frame.sender:
                 continue
             got_clean = False
             got_corrupt: Frame | None = None
             channels_ok: list[bool] = []
-            rx_flips = self._zone_flips(att.position, now_us)
-            for ch in range(self.channels):
+            rx_flips = (
+                self._zone_flips(att.position, now_us) if zones else 0
+            )
+            flips = sender_flips + rx_flips
+            for ch in channel_range:
                 if not tx_on_channel[ch]:
                     channels_ok.append(False)
                     continue
-                if att.rx[ch].drops(now_us, self._rng):
+                if att.rx[ch].drops(now_us, rng):
                     channels_ok.append(False)
                     continue
-                flips = sender_flips + rx_flips
-                copy = frame.corrupted(flips)
+                copy = frame.corrupted(flips) if flips else frame
                 if copy.crc_valid:
                     got_clean = True
                     channels_ok.append(True)

@@ -45,15 +45,27 @@ def fault_tolerant_average(
         If there are not enough measurements to drop 2k values and still
         average at least one (``len(deviations) >= 2k + 1``).
     """
-    dev = np.asarray(deviations_us, dtype=float)
     if k < 0:
         raise ConfigurationError(f"k must be >= 0, got {k}")
-    if dev.size < 2 * k + 1:
+    n = len(deviations_us)
+    if n < 2 * k + 1:
         raise ConfigurationError(
             f"FTA with k={k} needs at least {2 * k + 1} measurements, "
-            f"got {dev.size}"
+            f"got {n}"
         )
-    dev = np.sort(dev)
+    if n - 2 * k < 8:
+        # Small-ensemble fast path (the common case: one measurement per
+        # peer per round).  numpy's pairwise mean reduces sequentially for
+        # fewer than 8 elements, so a plain sorted sum is *bit-identical*
+        # to the array path while skipping the ndarray round-trip.
+        dev_list = sorted(float(v) for v in deviations_us)
+        if k:
+            dev_list = dev_list[k:-k]
+        total = 0.0
+        for v in dev_list:
+            total += v
+        return total / len(dev_list)
+    dev = np.sort(np.asarray(deviations_us, dtype=float))
     if k:
         dev = dev[k:-k]
     return float(dev.mean())

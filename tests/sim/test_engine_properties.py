@@ -85,6 +85,186 @@ def test_run_until_never_moves_time_backwards(events, horizons):
 
 @settings(max_examples=60, deadline=None)
 @given(
+    keys=st.lists(
+        st.tuples(st.integers(0, 6), st.sampled_from(PRIORITIES)),
+        min_size=2,
+        max_size=24,
+    )
+)
+def test_duplicate_keys_fire_in_insertion_order(keys):
+    """Events with *identical* (time, priority) run in insertion order.
+
+    This is the contract the unique-key test cannot see: within one
+    instant and one priority band, the seq counter is the only
+    tie-breaker, so the stable sort of the insertion sequence is the one
+    and only legal execution order.
+    """
+    sim = Simulator()
+    fired: list[tuple[int, int, int]] = []
+    for i, (time, priority) in enumerate(keys):
+        sim.schedule_at(
+            time,
+            (lambda t, p, i: lambda s: fired.append((t, p, i)))(
+                time, priority, i
+            ),
+            priority=priority,
+        )
+    sim.run_until(100)
+    expected = sorted(
+        ((t, p, i) for i, (t, p) in enumerate(keys)),
+        key=lambda x: (x[0], x[1], x[2]),
+    )
+    assert fired == expected
+
+
+#: One step of the mixed-interleaving state machine: (opcode, a, b).
+_OPS = st.lists(
+    st.one_of(
+        # Offsets start at 1: an event scheduled at the *current* instant
+        # after that instant's events already ran would legally fire "out
+        # of order" and break the global-sort oracle below.  Same-instant
+        # ordering among coexisting events is still generated here (equal
+        # absolute times before a run) and pinned down exhaustively by
+        # test_duplicate_keys_fire_in_insertion_order.
+        st.tuples(st.just("at"), st.integers(1, 30), st.sampled_from(PRIORITIES)),
+        st.tuples(st.just("in"), st.integers(1, 12), st.sampled_from(PRIORITIES)),
+        st.tuples(st.just("periodic"), st.integers(1, 7), st.sampled_from(PRIORITIES)),
+        st.tuples(st.just("cancel"), st.integers(0, 10_000), st.just(0)),
+        st.tuples(st.just("cancel_head"), st.just(0), st.just(0)),
+        st.tuples(st.just("run"), st.integers(0, 10), st.just(0)),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+@settings(max_examples=100, deadline=None)
+@given(ops=_OPS)
+def test_mixed_interleavings_preserve_order_and_accounting(ops):
+    """Random schedule/cancel/periodic/run interleavings keep the kernel's
+    two global contracts:
+
+    * every fired event carries a (time, priority, armed-seq) key and the
+      fired sequence is exactly its own sort — the heap order is the
+      execution order whatever the interleaving;
+    * ``events_processed`` counts exactly the callbacks that ran (lazily
+      discarded cancelled entries are invisible), and ``pending`` counts
+      exactly the live queue — including after cancelling the head event
+      or a handle that has already fired.
+    """
+    sim = Simulator()
+    fired: list[tuple[int, int, int]] = []
+    fired_seqs: set[int] = set()
+    never_fire: set[int] = set()  # one-shot seqs cancelled while pending
+    handles = []  # (handle, periodic?)
+
+    def one_shot(handle_box):
+        def callback(s):
+            fired.append((s.now, handle_box[0].priority, handle_box[0].seq))
+            fired_seqs.add(handle_box[0].seq)
+
+        return callback
+
+    def periodic_cb(box):
+        # schedule_periodic re-arms one handle per tick; box[0].seq is the
+        # seq of the *currently executing* arm while the callback runs.
+        def callback(s):
+            fired.append((s.now, box[0].priority, box[0].seq))
+
+        return callback
+
+    for op, a, b in ops:
+        if op == "at":
+            box = []
+            box.append(sim.schedule_at(sim.now + a, one_shot(box), priority=b))
+            handles.append((box[0], False))
+        elif op == "in":
+            box = []
+            box.append(sim.schedule_in(a, one_shot(box), priority=b))
+            handles.append((box[0], False))
+        elif op == "periodic":
+            box = []
+            box.append(sim.schedule_periodic(a, periodic_cb(box), priority=b))
+            handles.append((box[0], True))
+        elif op == "cancel" and handles:
+            # May hit handles that already fired: must stay a no-op.
+            handle, is_periodic = handles[a % len(handles)]
+            if not is_periodic and handle.seq not in fired_seqs:
+                never_fire.add(handle.seq)
+            sim.cancel(handle)
+        elif op == "cancel_head" and sim.pending:
+            # Cancel the event the run loop would pop next — the lazy
+            # discard path right at the heap head.
+            head = min(
+                (e for e in sim._heap if not e[3].cancelled),
+                key=lambda e: (e[0], e[1], e[2]),
+            )
+            for h, is_periodic in handles:
+                if h is head[3] and not is_periodic:
+                    never_fire.add(h.seq)
+            sim.cancel(head[3])
+        elif op == "run":
+            sim.run_until(sim.now + a)
+
+    sim.run_until(sim.now + 5)
+
+    assert fired == sorted(fired)
+    assert sim.events_processed == len(fired)
+    live = sum(1 for e in sim._heap if not e[3].cancelled)
+    assert sim.pending == live
+    assert not never_fire & fired_seqs
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    period=st.integers(1, 9),
+    horizon=st.integers(0, 60),
+    cancel_after=st.integers(0, 60),
+    priority=st.sampled_from(PRIORITIES),
+)
+def test_periodic_tick_count_and_cancel(period, horizon, cancel_after, priority):
+    """A periodic cascade fires floor(horizon/period) times, stops cleanly
+    when its handle is cancelled, and a replacement cascade scheduled
+    afterwards resumes the cadence — the reschedule-after-cancel shape the
+    maintenance layer uses."""
+    sim = Simulator()
+    ticks: list[int] = []
+    handle = sim.schedule_periodic(
+        period, lambda s: ticks.append(s.now), priority=priority
+    )
+    stop = min(cancel_after, horizon)
+    sim.run_until(stop)
+    sim.cancel(handle)
+    sim.run_until(horizon)
+    assert ticks == list(range(period, stop + 1, period))
+    assert sim.events_processed == len(ticks)
+
+    # Re-arm a fresh cascade from the cancellation point.
+    resumed: list[int] = []
+    sim.schedule_periodic(period, lambda s: resumed.append(s.now))
+    sim.run_until(horizon + 4 * period)
+    assert resumed == list(range(horizon + period, horizon + 4 * period + 1, period))
+
+
+def test_cancel_after_fire_keeps_pending_consistent():
+    """Cancelling a handle that already fired must not corrupt ``pending``
+    (a running cancelled-counter would go negative here)."""
+    sim = Simulator()
+    done = sim.schedule_at(1, lambda s: None)
+    later = sim.schedule_at(10, lambda s: None)
+    sim.run_until(5)
+    assert sim.pending == 1
+    sim.cancel(done)  # already ran: must be a no-op
+    sim.cancel(done)  # idempotent
+    assert sim.pending == 1
+    sim.cancel(later)
+    assert sim.pending == 0
+    sim.run_until(20)
+    assert sim.events_processed == 1
+
+
+@settings(max_examples=60, deadline=None)
+@given(
     times=st.lists(st.integers(0, 50), min_size=1, max_size=20),
     data=st.data(),
 )

@@ -18,6 +18,12 @@ Two measurements, two contracts:
    trajectory is visible, and only guards against pathological
    regressions (full tracing must stay under 2x).
 
+3. **Provenance overhead (<10% vs counters-only, hard-asserted).**  The
+   causal-lineage path (``obs_provenance=True``: id allocation and
+   evidence-ledger appends on every hook, plus the per-replica
+   stage-latency fold) must stay within 10% of the counters-only
+   campaign — the acceptance contract for schema v2.
+
 Replica count is tunable via ``REPRO_BENCH_OBS_REPLICAS`` (default 8:
 the bench favours a fast signal; the ratios are stable well below the
 200-replica campaign used by ``bench_parallel``).
@@ -41,7 +47,7 @@ from benchmarks._util import emit, once
 REPLICAS = int(os.environ.get("REPRO_BENCH_OBS_REPLICAS", "8"))
 ROOT_SEED = 3
 HORIZON_US = ms(300)
-REPEATS = 3
+REPEATS = 5
 
 DISPATCH_EVENTS = 200_000
 DISPATCH_REPEATS = 7
@@ -105,18 +111,29 @@ def _time_dispatch(simulator_cls) -> float:
 
 
 def _measure_dispatch_overhead():
-    """Interleaved min-of-N timings: hook-free vs tracer-disabled."""
-    baseline, instrumented = [], []
+    """Paired timings: hook-free vs tracer-disabled, back to back.
+
+    The gate uses the *median of per-pair ratios*: each pair runs within
+    a fraction of a second, so machine-wide drift (frequency scaling,
+    noisy-neighbour load on a shared box) cancels inside the pair
+    instead of skewing whichever kernel happened to run in a slow
+    window, and the median discards the odd interrupted pair outright.
+    """
+    baseline, instrumented, ratios = [], [], []
     for _ in range(DISPATCH_REPEATS):
-        baseline.append(_time_dispatch(_HookFreeSimulator))
-        instrumented.append(_time_dispatch(Simulator))
-    return min(baseline), min(instrumented)
+        base = _time_dispatch(_HookFreeSimulator)
+        inst = _time_dispatch(Simulator)
+        baseline.append(base)
+        instrumented.append(inst)
+        ratios.append(inst / base)
+    ratios.sort()
+    return min(baseline), min(instrumented), ratios[len(ratios) // 2]
 
 
 def test_tracer_disabled_dispatch_overhead(benchmark):
     """THE acceptance gate: the disabled hook path costs <5%."""
-    base_s, inst_s = once(benchmark, _measure_dispatch_overhead)
-    overhead = inst_s / base_s - 1.0
+    base_s, inst_s, median_ratio = once(benchmark, _measure_dispatch_overhead)
+    overhead = median_ratio - 1.0
     emit(
         "BENCH_obs_dispatch",
         render_table(
@@ -132,7 +149,7 @@ def test_tracer_disabled_dispatch_overhead(benchmark):
             ],
             title=(
                 f"Tracer-disabled dispatch path: {overhead:+.2%} "
-                f"(contract: <5%), min of {DISPATCH_REPEATS}"
+                f"(contract: <5%), median ratio of {DISPATCH_REPEATS} pairs"
             ),
         ),
         data={
@@ -168,32 +185,52 @@ def _measure_campaign_modes():
             obs_enabled=True,
             obs_trace=True,
         ),
+        "provenance": CampaignReplicaSpec(
+            expected_faults=3.0,
+            horizon_us=HORIZON_US,
+            obs_enabled=True,
+            obs_provenance=True,
+        ),
     }
     walls: dict[str, float] = {}
+    rounds: list[dict[str, float]] = []
     summaries = {}
-    for name, spec in modes.items():
-        runs = [_campaign(spec) for _ in range(REPEATS)]
-        walls[name] = min(run.metrics.wall_time_s for run in runs)
-        summaries[name] = runs[-1].value
-    return walls, summaries
+    # Interleave the repeats across modes (like the dispatch measurement)
+    # so machine-wide drift hits every mode equally instead of skewing
+    # whichever mode happened to run in a slow window; the ratios the
+    # gates consume are medians of *within-round* ratios, where the
+    # drift cancels (see ``_measure_dispatch_overhead``).
+    for _ in range(REPEATS):
+        round_walls: dict[str, float] = {}
+        for name, spec in modes.items():
+            run = _campaign(spec)
+            wall = run.metrics.wall_time_s
+            round_walls[name] = wall
+            walls[name] = min(walls.get(name, wall), wall)
+            summaries[name] = run.value
+        rounds.append(round_walls)
+    return walls, rounds, summaries
+
+
+def _median_ratio(rounds: list[dict[str, float]], num: str, den: str) -> float:
+    """Median over measurement rounds of ``wall[num] / wall[den]``."""
+    ratios = sorted(r[num] / r[den] for r in rounds)
+    return ratios[len(ratios) // 2]
 
 
 def test_obs_campaign_overhead(benchmark):
     """Record the enabled-path cost; guard only against blow-ups."""
-    walls, summaries = once(benchmark, _measure_campaign_modes)
-    counters_ratio = walls["counters"] / walls["off"]
-    trace_ratio = walls["trace"] / walls["off"]
-    # Observation must never perturb the experiment it observes.
-    assert (
-        summaries["off"].plan_digest
-        == summaries["counters"].plan_digest
-        == summaries["trace"].plan_digest
-    )
-    assert (
-        summaries["off"].events_simulated
-        == summaries["counters"].events_simulated
-        == summaries["trace"].events_simulated
-    )
+    walls, rounds, summaries = once(benchmark, _measure_campaign_modes)
+    counters_ratio = _median_ratio(rounds, "counters", "off")
+    trace_ratio = _median_ratio(rounds, "trace", "off")
+    provenance_ratio = _median_ratio(rounds, "provenance", "off")
+    provenance_vs_counters = _median_ratio(rounds, "provenance", "counters")
+    # Observation must never perturb the experiment it observes — all
+    # four modes (including causal lineage) run the identical campaign.
+    digests = {s.plan_digest for s in summaries.values()}
+    assert len(digests) == 1, f"obs mode perturbed the plan: {digests}"
+    events = {s.events_simulated for s in summaries.values()}
+    assert len(events) == 1, f"obs mode perturbed the simulation: {events}"
     emit(
         "BENCH_obs_overhead",
         render_table(
@@ -202,11 +239,17 @@ def test_obs_campaign_overhead(benchmark):
                 ["off", f"{walls['off']:.3f}", "1.00x"],
                 ["counters", f"{walls['counters']:.3f}", f"{counters_ratio:.2f}x"],
                 ["full trace", f"{walls['trace']:.3f}", f"{trace_ratio:.2f}x"],
+                [
+                    "provenance",
+                    f"{walls['provenance']:.3f}",
+                    f"{provenance_ratio:.2f}x",
+                ],
             ],
             title=(
                 f"Obs overhead on the A10 campaign: {REPLICAS} replicas, "
                 f"{summaries['off'].events_simulated:,} events, "
-                f"min of {REPEATS}"
+                f"median ratio of {REPEATS} rounds "
+                f"(provenance vs counters: {provenance_vs_counters:.2f}x)"
             ),
         ),
         data={
@@ -217,9 +260,15 @@ def test_obs_campaign_overhead(benchmark):
             "wall_s": {k: round(v, 4) for k, v in walls.items()},
             "counters_ratio": round(counters_ratio, 3),
             "trace_ratio": round(trace_ratio, 3),
+            "provenance_ratio": round(provenance_ratio, 3),
+            "provenance_vs_counters": round(provenance_vs_counters, 3),
             "events_simulated": summaries["off"].events_simulated,
         },
     )
     assert trace_ratio < 2.0, (
         f"full tracing costs {trace_ratio:.2f}x — pathological regression"
+    )
+    assert provenance_vs_counters < 1.10, (
+        f"provenance lineage costs {provenance_vs_counters:.2f}x the "
+        "counters-only campaign — breaches the <10% contract"
     )

@@ -23,6 +23,13 @@ Commands
 
 ``obs report PATH``
     Validate a recorded JSONL obs trace and render its summary.
+``obs export --format chrome PATH``
+    Convert a trace to Chrome-trace/Perfetto JSON (causal flow arrows
+    from schema-v2 provenance lineage).
+``explain PATH [--fault ID | --fru NAME] [--json]``
+    Reconstruct the causal chains of a provenance-enabled trace: injected
+    fault -> symptoms -> ONA -> alpha-count -> trust -> maintenance
+    action, sim-time annotated with per-stage latency deltas.
 
 Campaign-style commands accept ``--workers N`` to fan replicas out over
 the spawn-safe process pool (bit-identical results to ``--workers 1``;
@@ -30,9 +37,11 @@ see ``docs/parallel_runtime.md``) and ``--metrics-json PATH`` to write
 the structured run-metrics record.
 
 Observability flags (``docs/observability.md``): ``--trace PATH`` writes
-a schema-v1 JSONL obs trace of the run (for ``mc`` the parent aggregates
+a schema-v2 JSONL obs trace of the run (for ``mc`` the parent aggregates
 replica-tagged records in index order and appends the merged counter
-totals); ``--profile`` prints a per-subsystem wall-time breakdown.  All
+totals); ``--profile`` prints a per-subsystem wall-time breakdown;
+``--provenance`` threads causal lineage through the records (and, for
+``mc``, prints the per-stage latency breakdown per fault class).  All
 global flags are accepted both before and after the subcommand.
 """
 
@@ -50,7 +59,7 @@ def _emit_mc_obs(args: argparse.Namespace, outcome, summary) -> None:
     Replica trace records arrive in-memory through the reduce (tagged
     with their replica index); the parent concatenates them in index
     order, appends the merged counter totals as a ``trace.counters``
-    meta record and writes one schema-v1 JSONL file.
+    meta record and writes one schema-v2 JSONL file.
     """
     records = [
         record
@@ -184,6 +193,7 @@ def cmd_mc(args: argparse.Namespace) -> int:
         horizon_us=ms(args.horizon_ms),
         obs_enabled=want_trace,
         obs_trace=want_trace,
+        obs_provenance=args.provenance,
     )
     print(
         f"running {args.replicas} stochastic campaigns "
@@ -220,8 +230,67 @@ def cmd_mc(args: argparse.Namespace) -> int:
         f"attribution accuracy: {summary.attribution_accuracy:.0%}  "
         f"(plan digest {summary.plan_digest[:16]}...)"
     )
+    if args.provenance and summary.obs_counters is not None:
+        _print_mc_provenance(summary.obs_counters)
     _emit_metrics(args, outcome.metrics)
     return 0
+
+
+def _print_mc_provenance(obs_counters: dict) -> None:
+    """Render the campaign-scale provenance aggregates.
+
+    Per fault class and consecutive stage pair, the merged
+    ``provenance.stage_latency_us`` histogram yields p50/p90 via
+    :func:`repro.obs.histogram_quantile`; the ``provenance.chains``
+    counters give the share of injected faults whose causal chain made it
+    all the way to the maintenance leaf.
+    """
+    from repro.obs import histogram_quantile
+
+    prefix = "provenance.stage_latency_us{"
+    rows = []
+    for key in sorted(obs_counters.get("histograms", {})):
+        if not key.startswith(prefix):
+            continue
+        labels = dict(
+            part.split("=", 1) for part in key[len(prefix) : -1].split(",")
+        )
+        hist = obs_counters["histograms"][key]
+        rows.append(
+            [
+                labels.get("cls", "?"),
+                labels.get("stage", "?"),
+                int(hist["count"]),
+                f"{histogram_quantile(hist, 0.5):,.0f}",
+                f"{histogram_quantile(hist, 0.9):,.0f}",
+            ]
+        )
+    if rows:
+        print(
+            render_table(
+                ["class", "stage", "n", "p50 [us]", "p90 [us]"],
+                rows,
+                title="Provenance stage latencies (merged over replicas)",
+            )
+        )
+    chains = {
+        key: value
+        for key, value in obs_counters.get("counters", {}).items()
+        if key.startswith("provenance.chains{")
+    }
+    if chains:
+        total = int(sum(chains.values()))
+        complete = int(
+            sum(
+                value
+                for key, value in chains.items()
+                if "terminal=maintenance" in key
+            )
+        )
+        print(
+            f"causal chains: {total} injected faults, {complete} complete "
+            f"to a maintenance action ({complete / total:.0%})"
+        )
 
 
 def cmd_fleet(args: argparse.Namespace) -> int:
@@ -333,12 +402,53 @@ def cmd_bathtub(args: argparse.Namespace) -> int:
 
 
 def cmd_obs(args: argparse.Namespace) -> int:
-    from repro.obs.report import render_report
+    from repro.errors import ConfigurationError
 
-    if args.obs_command != "report":
-        print("usage: python -m repro obs report PATH")
-        return 2
-    print(render_report(args.path))
+    if args.obs_command == "report":
+        from repro.obs.report import render_report
+
+        try:
+            print(render_report(args.path))
+        except (ConfigurationError, OSError) as exc:
+            print(f"invalid obs trace {args.path}: {exc}")
+            return 1
+        return 0
+    if args.obs_command == "export":
+        from repro.obs.export import write_chrome_trace
+        from repro.obs.tracer import read_jsonl, validate_trace
+
+        try:
+            records = read_jsonl(args.path)
+            validate_trace(records)
+        except (ConfigurationError, OSError) as exc:
+            print(f"invalid obs trace {args.path}: {exc}")
+            return 1
+        output = args.output or f"{args.path}.chrome.json"
+        path = write_chrome_trace(records, output)
+        print(f"[chrome trace written to {path}]")
+        return 0
+    print("usage: python -m repro obs {report,export} PATH")
+    return 2
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.errors import ConfigurationError
+    from repro.obs.explain import explain, render_explain
+    from repro.obs.tracer import read_jsonl, validate_trace
+
+    try:
+        records = read_jsonl(args.path)
+        validate_trace(records)
+    except (ConfigurationError, OSError) as exc:
+        print(f"invalid obs trace {args.path}: {exc}")
+        return 1
+    if args.json:
+        result = explain(records, fault=args.fault, fru=args.fru)
+        print(json.dumps(result, sort_keys=True))
+    else:
+        print(render_explain(records, fault=args.fault, fru=args.fru))
     return 0
 
 
@@ -366,7 +476,7 @@ _GLOBAL_OPTIONS: list[tuple[tuple[str, ...], dict]] = [
         {
             "metavar": "PATH",
             "default": None,
-            "help": "write a schema-v1 JSONL obs trace of the run to PATH",
+            "help": "write a schema-v2 JSONL obs trace of the run to PATH",
         },
     ),
     (
@@ -375,6 +485,18 @@ _GLOBAL_OPTIONS: list[tuple[tuple[str, ...], dict]] = [
             "action": "store_true",
             "default": False,
             "help": "print a per-subsystem wall-time breakdown after the run",
+        },
+    ),
+    (
+        ("--provenance",),
+        {
+            "action": "store_true",
+            "default": False,
+            "help": (
+                "thread causal cause_id/parents lineage through the trace "
+                "(enables `repro explain`; for mc also prints the "
+                "per-stage latency breakdown)"
+            ),
         },
     ),
 ]
@@ -432,6 +554,35 @@ def main(argv: list[str] | None = None) -> int:
         "report", help="validate and summarize a JSONL obs trace"
     )
     report.add_argument("path")
+    export = obs_sub.add_parser(
+        "export", help="convert a JSONL obs trace to another format"
+    )
+    export.add_argument("path")
+    export.add_argument(
+        "--format",
+        choices=["chrome"],
+        default="chrome",
+        help="output format (chrome: Chrome-trace/Perfetto JSON)",
+    )
+    export.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        help="output path (default: PATH.chrome.json)",
+    )
+    explain_cmd = sub.add_parser(
+        "explain", help="reconstruct causal chains from a provenance trace"
+    )
+    explain_cmd.add_argument("path")
+    explain_cmd.add_argument(
+        "--fault", default=None, help="filter to one injected fault id"
+    )
+    explain_cmd.add_argument(
+        "--fru", default=None, help="filter to chains touching one FRU"
+    )
+    explain_cmd.add_argument(
+        "--json", action="store_true", help="machine-readable JSON output"
+    )
     args = parser.parse_args(argv)
     commands = {
         "demo": cmd_demo,
@@ -442,11 +593,12 @@ def main(argv: list[str] | None = None) -> int:
         "list": cmd_list,
         "bathtub": cmd_bathtub,
         "obs": cmd_obs,
+        "explain": cmd_explain,
     }
     if args.command is None:
         parser.print_help()
         return 1
-    if args.command in ("obs", "mc") or not (
+    if args.command in ("obs", "mc", "explain") or not (
         getattr(args, "trace", None) or getattr(args, "profile", False)
     ):
         return commands[args.command](args)
@@ -463,7 +615,10 @@ def _run_observed(command, args: argparse.Namespace) -> int:
     from repro import obs as obs_api
     from repro.obs.report import counters_record
 
-    o = obs_api.Observability(profile=args.profile)
+    o = obs_api.Observability(
+        profile=args.profile,
+        provenance=getattr(args, "provenance", False),
+    )
     with obs_api.activated(o):
         rc = command(args)
     if args.trace:

@@ -116,14 +116,29 @@ class AlphaCountBank:
                 # A promotion: the score crossed the threshold — the FRU
                 # moved from "sporadic transients" to "recurring fault".
                 obs.counters.inc("alpha.promotions")
-                obs.tracer.event(
-                    "alpha.promotion",
-                    t_sim_us=now_us,
-                    fru=fru,
-                    score=ac.score,
-                    threshold=ac.threshold,
-                    failures_seen=ac.failures_seen,
-                )
+                prov = obs.provenance
+                if prov is None:
+                    obs.tracer.event(
+                        "alpha.promotion",
+                        t_sim_us=now_us,
+                        fru=fru,
+                        score=ac.score,
+                        threshold=ac.threshold,
+                        failures_seen=ac.failures_seen,
+                    )
+                else:
+                    cause_id = prov.new_id("alpha")
+                    prov.add_evidence(fru, cause_id)
+                    obs.tracer.causal_event(
+                        "alpha.promotion",
+                        now_us,
+                        cause_id,
+                        prov.alpha_evidence(fru),
+                        fru=fru,
+                        score=ac.score,
+                        threshold=ac.threshold,
+                        failures_seen=ac.failures_seen,
+                    )
         return ac
 
     def triggered(self) -> list[str]:

@@ -278,6 +278,8 @@ class DiagnosticAssessment:
         triggers: list[OnaTrigger],
         now_us: int,
     ) -> None:
+        obs = _obs.ACTIVE
+        prov = obs.provenance if obs.enabled else None
         failed: set[str] = set()
         for s in new_symptoms:
             if s.subject_job is None and s.type in (
@@ -286,6 +288,14 @@ class DiagnosticAssessment:
                 SymptomType.TIMING_VIOLATION,
             ):
                 failed.add(s.subject_component)
+                if prov is not None:
+                    # The symptoms that mark this component failed are the
+                    # alpha-count's causal inputs this epoch.
+                    symptom_id = prov.symptom_id(s.key())
+                    if symptom_id is not None:
+                        prov.add_alpha_evidence(
+                            f"component:{s.subject_component}", symptom_id
+                        )
         externally_explained = {
             t.subject.name
             for t in triggers

@@ -87,13 +87,26 @@ def determine_action(
     obs = _obs.ACTIVE
     if obs.enabled:
         obs.counters.inc("maintenance.actions", action=action.name)
-        obs.tracer.event(
-            "maintenance.recommendation",
-            fru=str(verdict.fru),
-            cls=fault_class.value,
-            action=action.name,
-            confidence=verdict.confidence,
-        )
+        prov = obs.provenance
+        if prov is None:
+            obs.tracer.event(
+                "maintenance.recommendation",
+                fru=str(verdict.fru),
+                cls=fault_class.value,
+                action=action.name,
+                confidence=verdict.confidence,
+            )
+        else:
+            obs.tracer.causal_event(
+                "maintenance.recommendation",
+                None,
+                prov.new_id("maint"),
+                prov.evidence(str(verdict.fru)),
+                fru=str(verdict.fru),
+                cls=fault_class.value,
+                action=action.name,
+                confidence=verdict.confidence,
+            )
     return MaintenanceRecommendation(
         fru=verdict.fru,
         fault_class=fault_class,

@@ -229,21 +229,37 @@ class OutOfNormAssertion(ABC):
             f"ona.{self.name}", t_sim_us=ctx.now_us, window=len(ctx.window)
         ):
             triggers = self._evaluate_guarded(ctx)
+        prov = obs.provenance
         for trigger in triggers:
             obs.counters.inc(
                 "ona.triggers",
                 ona=self.name,
                 cls=trigger.fault_class.value,
             )
-            obs.tracer.event(
-                "ona.trigger",
-                t_sim_us=trigger.time_us,
-                ona=trigger.ona,
-                cls=trigger.fault_class.value,
-                subject=str(trigger.subject),
-                confidence=trigger.confidence,
-                evidence=trigger.evidence,
-            )
+            if prov is None:
+                obs.tracer.event(
+                    "ona.trigger",
+                    t_sim_us=trigger.time_us,
+                    ona=trigger.ona,
+                    cls=trigger.fault_class.value,
+                    subject=str(trigger.subject),
+                    confidence=trigger.confidence,
+                    evidence=trigger.evidence,
+                )
+            else:
+                cause_id = prov.new_id("ona")
+                prov.add_evidence(str(trigger.subject), cause_id)
+                obs.tracer.causal_event(
+                    "ona.trigger",
+                    trigger.time_us,
+                    cause_id,
+                    prov.trigger_parents(trigger, ctx.window),
+                    ona=trigger.ona,
+                    cls=trigger.fault_class.value,
+                    subject=str(trigger.subject),
+                    confidence=trigger.confidence,
+                    evidence=trigger.evidence,
+                )
         return triggers
 
 

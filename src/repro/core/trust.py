@@ -114,12 +114,26 @@ class TrustBank:
                 obs.counters.inc("trust.demerits")
             if lvl.suspicious and not was_suspicious:
                 obs.counters.inc("trust.suspicious_transitions")
-                obs.tracer.event(
-                    "trust.suspicious",
-                    t_sim_us=now_us,
-                    fru=fru,
-                    value=value,
-                )
+                prov = obs.provenance
+                if prov is None:
+                    obs.tracer.event(
+                        "trust.suspicious",
+                        t_sim_us=now_us,
+                        fru=fru,
+                        value=value,
+                    )
+                else:
+                    cause_id = prov.new_id("trust")
+                    parents = prov.evidence(fru)
+                    prov.add_evidence(fru, cause_id)
+                    obs.tracer.causal_event(
+                        "trust.suspicious",
+                        now_us,
+                        cause_id,
+                        parents,
+                        fru=fru,
+                        value=value,
+                    )
         return value
 
     def values(self) -> dict[str, float]:

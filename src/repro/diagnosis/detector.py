@@ -142,15 +142,35 @@ class DetectionService:
         if obs.enabled:
             obs.counters.inc("detector.symptoms")
             obs.counters.inc("detector.symptoms.by_type", type=symptom.type.name)
-            obs.tracer.event(
-                "detector.symptom",
-                t_sim_us=symptom.time_us,
-                type=symptom.type.name,
-                observer=symptom.observer,
-                subject=symptom.subject_component,
-                job=symptom.subject_job,
-                lattice_point=symptom.lattice_point,
-            )
+            prov = obs.provenance
+            if prov is None:
+                obs.tracer.event(
+                    "detector.symptom",
+                    t_sim_us=symptom.time_us,
+                    type=symptom.type.name,
+                    observer=symptom.observer,
+                    subject=symptom.subject_component,
+                    job=symptom.subject_job,
+                    lattice_point=symptom.lattice_point,
+                )
+            else:
+                cause_id, parents = prov.symptom_node(symptom)
+                tracer = obs.tracer
+                if tracer.keeps_records:
+                    tracer.causal_event(
+                        "detector.symptom",
+                        symptom.time_us,
+                        cause_id,
+                        parents,
+                        type=symptom.type.name,
+                        observer=symptom.observer,
+                        subject=symptom.subject_component,
+                        job=symptom.subject_job,
+                        lattice_point=symptom.lattice_point,
+                    )
+                # Fold-only mode logs nothing: symptom_node above already
+                # registered the node in the tracker ledger the stage
+                # fold reads (see fold_stage_latencies' tracker path).
         self.sink(symptom.observer, symptom)
 
     # -- the per-slot observer ------------------------------------------------

@@ -121,6 +121,9 @@ class DiagnosticNetwork:
             if obs.enabled:
                 obs.counters.inc("dissemination.delivered")
                 obs.counters.observe("dissemination.latency_slots", 0)
+                prov = obs.provenance
+                if prov is not None:
+                    self._deliver_event(obs, prov, symptom, self.cluster.now, 0)
             for consumer in self._consumers:
                 consumer(observer, symptom)
             return
@@ -137,6 +140,34 @@ class DiagnosticNetwork:
                 )
         outbox.append(
             SymptomMessage(symptom, observer, self.cluster.now)
+        )
+
+    @staticmethod
+    def _deliver_event(obs, prov, symptom: Symptom, now_us: int, slots: int) -> None:
+        """Record the causal ``dissemination.deliver`` lineage node.
+
+        One node per symptom, at its first delivery — re-deliveries of
+        the same deviation are counted (``dissemination.delivered``) but
+        add no lineage (see ``ProvenanceTracker.deliver_node``).  In
+        fold-only mode (no record retention) only the first-delivery
+        time is noted; the stage fold synthesises the node from it.
+        """
+        tracer = obs.tracer
+        if not tracer.keeps_records:
+            prov.record_delivery(symptom.key(), now_us)
+            return
+        node = prov.deliver_node(symptom.key())
+        if node is None:
+            return
+        cause_id, parents = node
+        tracer.causal_event(
+            "dissemination.deliver",
+            now_us,
+            cause_id,
+            parents,
+            subject=symptom.subject_component,
+            type=symptom.type.name,
+            latency_slots=slots,
         )
 
     # -- cluster hooks ---------------------------------------------------------
@@ -165,11 +196,14 @@ class DiagnosticNetwork:
         for message in messages:
             self.delivered += 1
             if obs.enabled:
+                slots = max(0, now_us - message.enqueued_us) // slot_us
                 obs.counters.inc("dissemination.delivered")
-                obs.counters.observe(
-                    "dissemination.latency_slots",
-                    max(0, now_us - message.enqueued_us) // slot_us,
-                )
+                obs.counters.observe("dissemination.latency_slots", slots)
+                prov = obs.provenance
+                if prov is not None:
+                    self._deliver_event(
+                        obs, prov, message.symptom, now_us, slots
+                    )
             for consumer in self._consumers:
                 consumer(receiver, message.symptom)
 

@@ -265,10 +265,12 @@ class CampaignReplicaSpec:
     software_jobs: tuple[str, ...] = ("A1", "A2", "B1", "C2")
     config_ports: tuple[tuple[str, str], ...] = (("A3", "in"),)
     # Observability: counters when enabled, trace records additionally
-    # when obs_trace is set.  Both derive purely from simulated state, so
-    # enabling them must not perturb the summary.
+    # when obs_trace is set, causal lineage plus per-stage latency
+    # aggregation when obs_provenance is set.  All derive purely from
+    # simulated state, so enabling them must not perturb the summary.
     obs_enabled: bool = False
     obs_trace: bool = False
+    obs_provenance: bool = False
 
 
 @dataclass(frozen=True, slots=True)
@@ -285,7 +287,7 @@ class CampaignReplicaOutcome:
     events_simulated: int
     #: Counter-registry snapshot when the spec enabled observability.
     obs_counters: dict | None = None
-    #: Schema-v1 trace line dicts (replica-tagged) when tracing was on.
+    #: Schema-v2 trace line dicts (replica-tagged) when tracing was on.
     obs_trace: tuple[dict, ...] = ()
 
 

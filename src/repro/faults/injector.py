@@ -55,6 +55,7 @@ from repro.core.fault_model import (
 )
 from repro.errors import FaultInjectionError
 from repro.faults import rates
+from repro.obs import state as _obs
 from repro.faults.wearout import wearout_fit_profile
 from repro.reliability.fit import exponential_arrivals_us, thinned_arrivals_us
 from repro.sim.engine import PRIORITY_FAULT
@@ -101,6 +102,29 @@ class FaultInjector:
             mechanism=mechanism,
             **extra,
         )
+        obs = _obs.ACTIVE
+        if obs.enabled:
+            prov = obs.provenance
+            if prov is not None:
+                # Subjects the fault can manifest on: the FRU itself plus,
+                # for EMI bursts, every component inside the zone.
+                subjects = [fru.name]
+                affected = extra.get("affected")
+                if affected:
+                    subjects.extend(str(affected).split(","))
+                cause_id = prov.register_fault(
+                    descriptor.fault_id, subjects, descriptor.activation_us
+                )
+                obs.tracer.causal_event(
+                    "fault.injected",
+                    descriptor.activation_us,
+                    cause_id,
+                    (),
+                    fault_id=descriptor.fault_id,
+                    fru=str(fru),
+                    cls=fault_class.value,
+                    mechanism=mechanism,
+                )
         return descriptor
 
     def ground_truth(self) -> dict[str, FaultDescriptor]:

@@ -4,11 +4,15 @@ One :class:`Observability` context bundles the three instruments the
 DECOS reproduction exposes:
 
 * a **tracer** (:mod:`repro.obs.tracer`) — spans and events with
-  simulated + wall clocks, JSONL sink, schema v1;
+  simulated + wall clocks, JSONL sink, schema v2;
 * a **counter registry** (:mod:`repro.obs.counters`) — monotone counters
   and simulated-time histograms with a deterministic cross-process merge;
 * an optional **profiler** (:mod:`repro.obs.profiler`) — per-subsystem
-  wall-time breakdown fed from span closures.
+  wall-time breakdown fed from span closures;
+* an optional **provenance tracker** (:mod:`repro.obs.provenance`) —
+  ``cause_id``/``parents`` lineage linking injected faults through
+  symptoms, ONAs, alpha-counts and trust to maintenance actions
+  (rendered by ``repro explain``).
 
 The stack is instrumented against the *active* context
 (:mod:`repro.obs.state`), which defaults to a disabled singleton: every
@@ -36,7 +40,13 @@ from typing import Any, TextIO
 from repro.obs import state as _state
 from repro.obs.counters import CounterRegistry, Histogram, counter_key
 from repro.obs.profiler import Profiler
+from repro.obs.provenance import (
+    ProvenanceTracker,
+    fold_stage_latencies,
+    histogram_quantile,
+)
 from repro.obs.tracer import (
+    SUPPORTED_SCHEMA_VERSIONS,
     TRACE_SCHEMA_VERSION,
     ObsRecord,
     Tracer,
@@ -49,17 +59,21 @@ from repro.obs.tracer import (
 )
 
 __all__ = [
+    "SUPPORTED_SCHEMA_VERSIONS",
     "TRACE_SCHEMA_VERSION",
     "CounterRegistry",
     "Histogram",
     "ObsRecord",
     "Observability",
     "Profiler",
+    "ProvenanceTracker",
     "Tracer",
     "activated",
     "canonical_lines",
     "counter_key",
+    "fold_stage_latencies",
     "get_obs",
+    "histogram_quantile",
     "read_jsonl",
     "set_obs",
     "trace_digest",
@@ -83,6 +97,15 @@ class Observability:
         Optional open text stream the tracer writes JSONL lines to.
     profile:
         Attach a :class:`Profiler` to span closures (implies tracing).
+    provenance:
+        Attach a :class:`~repro.obs.provenance.ProvenanceTracker` so
+        pipeline records carry ``cause_id``/``parents`` lineage (default
+        off — the lineage dict work is the provenance-overhead budget of
+        ``bench_obs_overhead``).  With ``trace=False`` the tracer keeps
+        only the compact causal log the stage-latency fold reads, not
+        full records — campaign replicas aggregate without paying for
+        record retention; keep ``trace=True`` (the default) when the
+        records themselves are wanted (``repro explain``, JSONL export).
     """
 
     def __init__(
@@ -92,11 +115,19 @@ class Observability:
         trace: bool = True,
         sink: TextIO | None = None,
         profile: bool = False,
+        provenance: bool = False,
     ) -> None:
         self.enabled = enabled
         self.counters = CounterRegistry()
-        self.tracer = Tracer(enabled=enabled and (trace or profile), sink=sink)
+        self.tracer = Tracer(
+            enabled=enabled and (trace or profile or provenance),
+            sink=sink,
+            keep_records=None if (trace or profile) else False,
+        )
         self.profiler: Profiler | None = None
+        self.provenance: ProvenanceTracker | None = (
+            ProvenanceTracker() if (enabled and provenance) else None
+        )
         if profile:
             self.profiler = Profiler()
             self.tracer.span_listeners.append(self.profiler.on_span)
@@ -112,7 +143,7 @@ class Observability:
         return self.counters.snapshot()
 
     def trace_dicts(self) -> list[dict[str, Any]]:
-        """In-memory trace records as schema-v1 line dicts."""
+        """In-memory trace records as schema-v2 line dicts."""
         return self.tracer.record_dicts()
 
 

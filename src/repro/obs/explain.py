@@ -1,0 +1,289 @@
+"""Causal-chain reconstruction — the ``repro explain`` command.
+
+Reads a trace (schema v2 with ``cause_id``/``parents`` lineage; v1 files
+parse but carry no provenance), rebuilds the per-fault causal DAG, and
+renders it as a sim-time-annotated tree with per-stage latency deltas —
+the answer to "why did this FRU get *replace*?".  :func:`explain`
+returns the machine-readable form (``--json``); :func:`render_explain`
+the human one.
+
+Node identity is ``(replica, cause_id)``: multi-replica campaign traces
+keep each replica's lineage separate (ids are only unique per run).
+Records that re-report the same node (a deviation seen by several
+observers shares one symptom node) collapse to the earliest simulated
+time.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+from typing import Any
+
+from repro.obs.provenance import STAGE_BY_NAME, STAGES
+
+#: How many children to print per node before eliding (machine form is
+#: never truncated).
+MAX_RENDER_CHILDREN = 8
+
+_NodeKey = tuple[int, str]
+
+
+def has_provenance(records: Iterable[Mapping[str, Any]]) -> bool:
+    """True when any non-meta record carries lineage fields."""
+    return any(
+        rec.get("cause_id") is not None
+        for rec in records
+        if rec.get("kind") != "meta"
+    )
+
+
+def build_graph(
+    records: Iterable[Mapping[str, Any]],
+) -> tuple[dict[_NodeKey, dict[str, Any]], dict[_NodeKey, list[_NodeKey]]]:
+    """(nodes, children) of the causal DAG embedded in ``records``."""
+    nodes: dict[_NodeKey, dict[str, Any]] = {}
+    children: dict[_NodeKey, list[_NodeKey]] = {}
+    for rec in records:
+        cause_id = rec.get("cause_id")
+        if cause_id is None or rec.get("kind") == "meta":
+            continue
+        replica = rec.get("replica") or 0
+        key = (replica, cause_id)
+        t_sim = rec.get("t_sim_us")
+        node = nodes.get(key)
+        if node is None:
+            nodes[key] = {
+                "id": cause_id,
+                "replica": replica,
+                "name": rec.get("name"),
+                "stage": STAGE_BY_NAME.get(rec.get("name", ""), "other"),
+                "t_sim_us": t_sim,
+                "attrs": dict(rec.get("attrs", {})),
+                "parents": list(rec.get("parents", ())),
+            }
+            for parent in rec.get("parents", ()):
+                children.setdefault((replica, parent), []).append(key)
+        elif t_sim is not None and (
+            node["t_sim_us"] is None or t_sim < node["t_sim_us"]
+        ):
+            node["t_sim_us"] = t_sim
+    return nodes, children
+
+
+def _matches_fru(node: Mapping[str, Any], fru: str) -> bool:
+    attrs = node["attrs"]
+    return fru in (
+        attrs.get("fru"),
+        attrs.get("subject"),
+        f"component:{attrs.get('fru')}",
+        f"component:{attrs.get('subject')}",
+    )
+
+
+def _chain(
+    root_key: _NodeKey,
+    nodes: Mapping[_NodeKey, dict[str, Any]],
+    children: Mapping[_NodeKey, list[_NodeKey]],
+) -> dict[str, Any]:
+    """One fault root's reachable sub-DAG plus its stage timeline."""
+    root = nodes[root_key]
+    replica = root_key[0]
+    member_ids: list[str] = []
+    earliest: dict[str, int] = {}
+    reached: set[str] = set()
+    monotonic = True
+    seen = {root_key}
+    frontier = [root_key]
+    edges: list[tuple[str, str]] = []
+    while frontier:
+        key = frontier.pop()
+        node = nodes[key]
+        member_ids.append(node["id"])
+        t_sim = node["t_sim_us"]
+        stage = node["stage"]
+        reached.add(stage)
+        if t_sim is not None:
+            prev = earliest.get(stage)
+            if prev is None or t_sim < prev:
+                earliest[stage] = t_sim
+        for child_key in children.get(key, ()):
+            child = nodes[child_key]
+            edges.append((node["id"], child["id"]))
+            if (
+                t_sim is not None
+                and child["t_sim_us"] is not None
+                and child["t_sim_us"] < t_sim
+            ):
+                monotonic = False
+            if child_key not in seen:
+                seen.add(child_key)
+                frontier.append(child_key)
+    present = [s for s in STAGES if s in reached]
+    timed = [s for s in STAGES if s in earliest]
+    latencies = {
+        f"{a}->{b}": earliest[b] - earliest[a]
+        for a, b in zip(timed, timed[1:])
+    }
+    actions = sorted(
+        {
+            nodes[(replica, mid)]["attrs"].get("action")
+            for mid in member_ids
+            if nodes[(replica, mid)]["stage"] == "maintenance"
+        }
+        - {None}
+    )
+    return {
+        "fault_id": root["attrs"].get("fault_id"),
+        "replica": replica,
+        "cls": root["attrs"].get("cls"),
+        "mechanism": root["attrs"].get("mechanism"),
+        "fru": root["attrs"].get("fru"),
+        "activation_us": root["t_sim_us"],
+        "stages": present,
+        "terminal": present[-1] if present else "none",
+        "stage_earliest_us": {s: earliest[s] for s in timed},
+        "stage_latency_us": latencies,
+        "maintenance_actions": actions,
+        "monotonic": monotonic,
+        "nodes": sorted(set(member_ids)),
+        "edges": sorted(set(edges)),
+    }
+
+
+def explain(
+    records: list[dict[str, Any]],
+    fault: str | None = None,
+    fru: str | None = None,
+) -> dict[str, Any]:
+    """Machine-readable causal chains of a trace.
+
+    ``fault`` filters to one injected fault id (``F0001``); ``fru``
+    keeps chains whose root or maintenance leaf names the FRU (accepts
+    both ``comp2`` and ``component:comp2``).
+    """
+    if not has_provenance(records):
+        return {"provenance": False, "chains": []}
+    nodes, children = build_graph(records)
+    chains = []
+    for key in sorted(nodes, key=lambda k: (k[0], nodes[k]["id"])):
+        node = nodes[key]
+        if node["stage"] != "fault":
+            continue
+        if fault is not None and node["attrs"].get("fault_id") != fault:
+            continue
+        chain = _chain(key, nodes, children)
+        if fru is not None:
+            root_fru = chain["fru"]
+            hit = root_fru in (fru, f"component:{fru}", f"job:{fru}") or any(
+                _matches_fru(nodes[(key[0], mid)], fru)
+                for mid in chain["nodes"]
+                if nodes[(key[0], mid)]["stage"] == "maintenance"
+            )
+            if not hit:
+                continue
+        chains.append(chain)
+    return {
+        "provenance": True,
+        "chains": chains,
+        "monotonic": all(c["monotonic"] for c in chains),
+    }
+
+
+NO_PROVENANCE_MESSAGE = (
+    "trace carries no provenance lineage (schema v1, or recorded without "
+    "--provenance); re-run the workload with --provenance to get causal "
+    "chains"
+)
+
+
+def render_explain(
+    records: list[dict[str, Any]],
+    fault: str | None = None,
+    fru: str | None = None,
+) -> str:
+    """Human-readable causal chains (sim-time tree + stage deltas)."""
+    result = explain(records, fault=fault, fru=fru)
+    if not result["provenance"]:
+        return NO_PROVENANCE_MESSAGE
+    if not result["chains"]:
+        scope = []
+        if fault is not None:
+            scope.append(f"fault {fault!r}")
+        if fru is not None:
+            scope.append(f"fru {fru!r}")
+        suffix = f" matching {' and '.join(scope)}" if scope else ""
+        return f"no causal chains{suffix} in this trace"
+    nodes, children = build_graph(records)
+    lines: list[str] = []
+    for chain in result["chains"]:
+        replica = chain["replica"]
+        header = (
+            f"{chain['fault_id']} {chain['mechanism']} on {chain['fru']} "
+            f"[{chain['cls']}] -> {chain['terminal']}"
+        )
+        if chain["maintenance_actions"]:
+            header += f" ({', '.join(chain['maintenance_actions'])})"
+        if replica:
+            header += f"  (replica {replica})"
+        lines.append(header)
+        root_key = (replica, f"fault:{chain['fault_id']}")
+        lines.extend(
+            _render_tree(root_key, nodes, children, indent="  ", parent_t=None)
+        )
+        if chain["stage_latency_us"]:
+            deltas = ", ".join(
+                f"{stage} +{delta:,}us"
+                for stage, delta in chain["stage_latency_us"].items()
+            )
+            lines.append(f"  stage latencies: {deltas}")
+        if not chain["monotonic"]:
+            lines.append("  WARNING: non-monotonic sim timestamps on a path")
+        lines.append("")
+    return "\n".join(lines).rstrip()
+
+
+def _render_tree(
+    key: _NodeKey,
+    nodes: Mapping[_NodeKey, dict[str, Any]],
+    children: Mapping[_NodeKey, list[_NodeKey]],
+    indent: str,
+    parent_t: int | None,
+    seen: set[_NodeKey] | None = None,
+) -> list[str]:
+    node = nodes.get(key)
+    if node is None:
+        return []
+    if seen is None:
+        seen = set()
+    t_sim = node["t_sim_us"]
+    stamp = "t=?" if t_sim is None else f"t={t_sim:,}us"
+    if t_sim is not None and parent_t is not None:
+        stamp += f" (+{max(0, t_sim - parent_t):,}us)"
+    detail = _node_detail(node)
+    line = f"{indent}{node['name']} {stamp}{detail}"
+    if key in seen:
+        return [f"{line}  (shown above)"]
+    seen.add(key)
+    lines = [line]
+    kids = children.get(key, ())
+    for child_key in kids[:MAX_RENDER_CHILDREN]:
+        lines.extend(
+            _render_tree(
+                child_key, nodes, children, indent + "  ", t_sim, seen
+            )
+        )
+    if len(kids) > MAX_RENDER_CHILDREN:
+        lines.append(
+            f"{indent}  ... {len(kids) - MAX_RENDER_CHILDREN} more children"
+        )
+    return lines
+
+
+def _node_detail(node: Mapping[str, Any]) -> str:
+    attrs = node["attrs"]
+    parts = []
+    for field in ("type", "ona", "cls", "subject", "fru", "action"):
+        value = attrs.get(field)
+        if value is not None:
+            parts.append(f"{field}={value}")
+    return f"  [{' '.join(parts)}]" if parts else ""

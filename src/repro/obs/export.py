@@ -1,0 +1,165 @@
+"""Trace exporters — the ``repro obs export`` command.
+
+:func:`chrome_trace` converts an obs JSONL trace into the Chrome Trace
+Event JSON format, so a campaign opens directly in ``chrome://tracing``
+or Perfetto (https://ui.perfetto.dev — "Open trace file"):
+
+* the timeline axis is **simulated** microseconds (``t_sim_us``);
+* each replica becomes one process row (``pid``), each subsystem (the
+  first dotted name segment) one thread row (``tid``);
+* spans map to complete ("X") slices — their duration is the recorded
+  *wall-clock* cost projected onto the sim axis, useful as a relative
+  weight, not as a sim interval;
+* events map to instants ("i");
+* provenance lineage (schema v2 ``cause_id``/``parents``) maps to flow
+  arrows ("s"/"f"), drawing the fault -> symptom -> ... -> maintenance
+  chains across rows.
+
+Records without a sim timestamp (e.g. ``maintenance.recommendation``
+after the run) are clamped to the latest sim time seen so they stay on
+the timeline.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.obs.tracer import TRACE_SCHEMA_VERSION
+
+
+def chrome_trace(records: list[dict[str, Any]]) -> dict[str, Any]:
+    """Chrome Trace Event representation of obs trace line dicts."""
+    events: list[dict[str, Any]] = []
+    node_pos: dict[tuple[int, str], tuple[int, str, int]] = {}
+    last_ts = 0
+    flows: list[tuple[tuple[int, str], tuple[int, str, int]]] = []
+    meta_attrs: dict[str, Any] = {}
+    seen_pids: set[int] = set()
+    seen_tids: set[tuple[int, str]] = set()
+
+    for rec in records:
+        kind = rec.get("kind")
+        if kind == "meta":
+            if rec.get("name") == "trace.header":
+                meta_attrs.update(rec.get("attrs", {}))
+            continue
+        pid = rec.get("replica") or 0
+        name = rec.get("name", "?")
+        tid = name.split(".", 1)[0]
+        t_sim = rec.get("t_sim_us")
+        ts = last_ts if t_sim is None else int(t_sim)
+        last_ts = max(last_ts, ts)
+        seen_pids.add(pid)
+        seen_tids.add((pid, tid))
+        args = {
+            k: v for k, v in rec.get("attrs", {}).items() if v is not None
+        }
+        if kind == "span":
+            events.append(
+                {
+                    "ph": "X",
+                    "name": name,
+                    "cat": tid,
+                    "ts": ts,
+                    "dur": max(1, round((rec.get("dur_s") or 0.0) * 1e6)),
+                    "pid": pid,
+                    "tid": tid,
+                    "args": args,
+                }
+            )
+        else:
+            events.append(
+                {
+                    "ph": "i",
+                    "s": "t",
+                    "name": name,
+                    "cat": tid,
+                    "ts": ts,
+                    "pid": pid,
+                    "tid": tid,
+                    "args": args,
+                }
+            )
+        cause_id = rec.get("cause_id")
+        if cause_id is not None:
+            key = (pid, cause_id)
+            if key not in node_pos:
+                node_pos[key] = (pid, tid, ts)
+                for parent in rec.get("parents", ()):
+                    flows.append(((pid, parent), node_pos[key]))
+
+    flow_id = 0
+    for parent_key, (pid, tid, ts) in flows:
+        source = node_pos.get(parent_key)
+        if source is None:
+            continue
+        flow_id += 1
+        src_pid, src_tid, src_ts = source
+        events.append(
+            {
+                "ph": "s",
+                "id": flow_id,
+                "name": "causal",
+                "cat": "provenance",
+                "ts": src_ts,
+                "pid": src_pid,
+                "tid": src_tid,
+            }
+        )
+        events.append(
+            {
+                "ph": "f",
+                "bp": "e",
+                "id": flow_id,
+                "name": "causal",
+                "cat": "provenance",
+                "ts": max(ts, src_ts),
+                "pid": pid,
+                "tid": tid,
+            }
+        )
+
+    for pid in sorted(seen_pids):
+        events.append(
+            {
+                "ph": "M",
+                "name": "process_name",
+                "pid": pid,
+                "args": {"name": f"replica {pid}"},
+            }
+        )
+    for pid, tid in sorted(seen_tids):
+        events.append(
+            {
+                "ph": "M",
+                "name": "thread_name",
+                "pid": pid,
+                "tid": tid,
+                "args": {"name": tid},
+            }
+        )
+
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "source": "repro.obs",
+            "schema": TRACE_SCHEMA_VERSION,
+            "time_axis": "simulated microseconds",
+            **{k: str(v) for k, v in meta_attrs.items()},
+        },
+    }
+
+
+def write_chrome_trace(
+    records: list[dict[str, Any]], path: str | Path
+) -> Path:
+    """Serialise :func:`chrome_trace` output to ``path``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(chrome_trace(records), sort_keys=True), encoding="utf-8"
+    )
+    return path

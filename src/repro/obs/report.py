@@ -1,9 +1,16 @@
 """Rendering of obs trace artefacts — the ``repro obs report`` command.
 
-Reads a schema-v1 JSONL trace (see :mod:`repro.obs.tracer`), validates
-it, and renders a human-readable summary: record volume by name, the
-simulated-time extent, per-replica volume for multi-replica traces, and
-the counter totals embedded in ``trace.counters`` meta records.
+Reads a JSONL trace (schema v1 or v2, see :mod:`repro.obs.tracer`),
+validates it, and renders a human-readable summary: record volume by
+name, the simulated-time extent, per-replica volume for multi-replica
+traces, and the counter totals embedded in ``trace.counters`` meta
+records.
+
+Output is byte-stable: every table is sorted by key (record names,
+counter keys), and no wall-clock quantity is printed — two runs of the
+same seeded scenario render identically (the golden-report test pins
+this).  Degenerate traces (empty file, meta-only header, zero recorded
+histograms) render a clear one-line message instead of raising.
 """
 
 from __future__ import annotations
@@ -85,8 +92,15 @@ def summarize_trace(records: list[dict[str, Any]]) -> dict[str, Any]:
 def render_report(path: str | Path) -> str:
     """Validate a JSONL trace file and render the summary tables."""
     records = read_jsonl(path)
+    if not records:
+        return f"Obs trace {Path(path).name}: empty file (no records)"
     validate_trace(records)
     summary = summarize_trace(records)
+    if not summary["by_name"] and not summary["counters"]:
+        return (
+            f"Obs trace {Path(path).name}: schema v{summary['schema']}, "
+            "meta header only (no span/event records, no counter totals)"
+        )
     t_range = summary["t_sim_us_range"]
     span = (
         f"{t_range[0]:,} .. {t_range[1]:,} us"
@@ -96,16 +110,21 @@ def render_report(path: str | Path) -> str:
     replicas = (
         f", {summary['replicas']} replicas" if summary["replicas"] else ""
     )
-    parts = [
-        render_table(
-            ["record", "count"],
-            [[name, count] for name, count in summary["by_name"].items()],
-            title=(
-                f"Obs trace {Path(path).name}: schema v{summary['schema']}, "
-                f"{summary['records']} records, sim time {span}{replicas}"
-            ),
+    title = (
+        f"Obs trace {Path(path).name}: schema v{summary['schema']}, "
+        f"{summary['records']} records, sim time {span}{replicas}"
+    )
+    parts = []
+    if summary["by_name"]:
+        parts.append(
+            render_table(
+                ["record", "count"],
+                [[name, count] for name, count in summary["by_name"].items()],
+                title=title,
+            )
         )
-    ]
+    else:
+        parts.append(f"{title}\n(no span/event records)")
     if summary["counters"]:
         parts.append(
             render_table(

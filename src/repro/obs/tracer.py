@@ -1,4 +1,4 @@
-"""Structured span/event tracer with a JSONL sink (trace schema v1).
+"""Structured span/event tracer with a JSONL sink (trace schema v2).
 
 The tracer records two shapes of observation:
 
@@ -25,11 +25,11 @@ allocation, no clock reads.  Instrumentation sites additionally gate on
 only that branch; the obs-overhead benchmark holds the tracer-on path to
 <5 % on the A10 random-fault campaign.
 
-Schema (version 1)
+Schema (version 2)
 ------------------
 One JSON object per line.  The first line is a ``meta`` record::
 
-    {"schema": 1, "kind": "meta", "name": "trace.header", "attrs": {...}}
+    {"schema": 2, "kind": "meta", "name": "trace.header", "attrs": {...}}
 
 Subsequent lines::
 
@@ -37,11 +37,23 @@ Subsequent lines::
      "t_sim_us": <int|null>, "t_wall_s": <float>,
      "dur_s": <float|null>,            # spans only
      "attrs": {<str>: <scalar>, ...},
+     "cause_id": <str>,                # optional, provenance node id
+     "parents": [<str>, ...],          # optional, causal parent ids
      "replica": <int>}                 # optional, multi-replica traces
 
 ``name`` is dot-namespaced; the first segment identifies the subsystem
 (``sim``, ``detector``, ``dissemination``, ``assessment``, ``ona``,
 ``alpha``, ``trust``, ``maintenance``) and keys the profiler breakdown.
+
+Version 2 adds the optional ``cause_id``/``parents`` lineage fields
+(top-level, *not* attrs — attrs stay flat scalars) written only when a
+record participates in the causal provenance DAG (``fault.injected`` →
+``detector.symptom`` → … → ``maintenance.recommendation``; see
+``repro.obs.provenance``).  v1 files remain readable: readers accept both
+versions and records without lineage simply have no provenance.  The
+determinism digest (:func:`canonical_lines`) is unchanged — it never
+covered unknown top-level fields, so v1 and v2 traces of the same run
+hash identically.
 """
 
 from __future__ import annotations
@@ -57,7 +69,10 @@ from repro.errors import ConfigurationError
 from repro.sim.trace import _canonical_value
 
 #: Version stamp written into every trace header; bump on layout changes.
-TRACE_SCHEMA_VERSION = 1
+TRACE_SCHEMA_VERSION = 2
+
+#: Header versions readers accept (v1 predates cause_id/parents lineage).
+SUPPORTED_SCHEMA_VERSIONS = (1, 2)
 
 #: Record kinds a schema-valid trace line may carry.
 RECORD_KINDS = ("meta", "event", "span")
@@ -75,9 +90,11 @@ class ObsRecord:
     attrs: dict[str, Any] = field(default_factory=dict)
     dur_s: float | None = None
     replica: int | None = None
+    cause_id: str | None = None
+    parents: tuple[str, ...] = ()
 
     def to_dict(self) -> dict[str, Any]:
-        """JSON-safe dict in schema-v1 line layout."""
+        """JSON-safe dict in schema-v2 line layout."""
         out: dict[str, Any] = {
             "seq": self.seq,
             "kind": self.kind,
@@ -88,6 +105,10 @@ class ObsRecord:
         }
         if self.kind == "span":
             out["dur_s"] = round(self.dur_s or 0.0, 9)
+        if self.cause_id is not None:
+            out["cause_id"] = self.cause_id
+            if self.parents:
+                out["parents"] = list(self.parents)
         if self.replica is not None:
             out["replica"] = self.replica
         return out
@@ -169,8 +190,17 @@ class Tracer:
     ) -> None:
         self.enabled = enabled
         self.records: list[ObsRecord] = []
+        #: Compact (name, t_sim_us, cause_id, parents, attrs) tuples, one
+        #: per causal event — the stage-latency fold reads these, so
+        #: provenance never *requires* full record retention.
+        self.causal_log: list[tuple] = []
         self._sink = sink
         self._keep = keep_records if keep_records is not None else sink is None
+        #: False in fold-only provenance mode: no sink and no in-memory
+        #: retention, so anything beyond the causal log is discarded.
+        #: Hot instrumentation sites may consult this to skip building
+        #: attrs for records that would be dropped anyway.
+        self.keeps_records = self._keep or sink is not None
         self._clock = clock
         self._seq = 0
         self.span_listeners: list[Callable[[str, float], None]] = []
@@ -179,13 +209,39 @@ class Tracer:
 
     def event(self, name: str, t_sim_us: int | None = None, **attrs: Any) -> None:
         """Record one instantaneous event (no-op when disabled)."""
-        if not self.enabled:
+        if not self.enabled or not self.keeps_records:
             return
         self._record("event", name, t_sim_us, attrs)
+
+    def causal_event(
+        self,
+        name: str,
+        t_sim_us: int | None,
+        cause_id: str,
+        parents: tuple[str, ...],
+        **attrs: Any,
+    ) -> None:
+        """Record one event carrying provenance lineage (schema v2)."""
+        if not self.enabled:
+            return
+        self.causal_log.append((name, t_sim_us, cause_id, parents, attrs))
+        if self.keeps_records:
+            self._record(
+                "event",
+                name,
+                t_sim_us,
+                attrs,
+                cause_id=cause_id,
+                parents=parents,
+            )
 
     def span(self, name: str, t_sim_us: int | None = None, **attrs: Any):
         """Context manager bracketing a region; records on exit."""
         if not self.enabled:
+            return _NULL_SPAN
+        if not self.keeps_records and not self.span_listeners:
+            # Fold-only provenance mode with no profiler attached: the
+            # span record would be discarded, so skip the clock reads.
             return _NULL_SPAN
         return _Span(self, name, t_sim_us, attrs)
 
@@ -204,7 +260,17 @@ class Tracer:
         *,
         dur_s: float | None = None,
         t_wall_s: float | None = None,
+        cause_id: str | None = None,
+        parents: tuple[str, ...] = (),
     ) -> None:
+        if not self._keep and self._sink is None:
+            # Nothing retains the record (fold-only provenance mode):
+            # skip the clock read and allocation, but still feed span
+            # listeners so an attached profiler keeps working.
+            if kind == "span":
+                for listener in self.span_listeners:
+                    listener(name, dur_s or 0.0)
+            return
         rec = ObsRecord(
             seq=self._seq,
             kind=kind,
@@ -213,6 +279,8 @@ class Tracer:
             t_wall_s=self._clock() if t_wall_s is None else t_wall_s,
             attrs=attrs,
             dur_s=dur_s,
+            cause_id=cause_id,
+            parents=parents,
         )
         self._seq += 1
         if self._keep:
@@ -227,11 +295,12 @@ class Tracer:
     # -- export -----------------------------------------------------------
 
     def record_dicts(self) -> list[dict[str, Any]]:
-        """In-memory records as schema-v1 dicts."""
+        """In-memory records as schema-v2 dicts."""
         return [_line_dict(r) for r in self.records]
 
     def clear(self) -> None:
         self.records.clear()
+        self.causal_log.clear()
 
 
 def _line_dict(rec: ObsRecord) -> dict[str, Any]:
@@ -253,7 +322,7 @@ def write_jsonl(
     *,
     header_attrs: Mapping[str, Any] | None = None,
 ) -> Path:
-    """Write a schema-v1 JSONL trace file (parent dirs created).
+    """Write a schema-v2 JSONL trace file (parent dirs created).
 
     ``records`` are line dicts (``Tracer.record_dicts`` output or
     equivalent).  A ``meta`` header line is prepended unless the first
@@ -277,13 +346,30 @@ def write_jsonl(
 
 
 def read_jsonl(path: str | Path) -> list[dict[str, Any]]:
-    """Read a JSONL trace file into line dicts (no validation)."""
+    """Read a JSONL trace file into line dicts (no schema validation).
+
+    Raises :class:`~repro.errors.ConfigurationError` on lines that are
+    not JSON objects, so CLI consumers surface one friendly message
+    instead of a decoder traceback.
+    """
     out: list[dict[str, Any]] = []
     with Path(path).open("r", encoding="utf-8") as fh:
-        for line in fh:
+        for lineno, line in enumerate(fh, start=1):
             line = line.strip()
-            if line:
-                out.append(json.loads(line))
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ConfigurationError(
+                    f"line {lineno} is not valid JSON: {exc}"
+                ) from exc
+            if not isinstance(rec, dict):
+                raise ConfigurationError(
+                    f"line {lineno} is not a JSON object "
+                    f"(got {type(rec).__name__})"
+                )
+            out.append(rec)
     return out
 
 
@@ -313,9 +399,10 @@ def validate_record(rec: Mapping[str, Any]) -> list[str]:
                     f"attr {key!r} must be a JSON scalar, got {type(value).__name__}"
                 )
     if kind == "meta":
-        if rec.get("schema") != TRACE_SCHEMA_VERSION:
+        if rec.get("schema") not in SUPPORTED_SCHEMA_VERSIONS:
             errors.append(
-                f"meta.schema must be {TRACE_SCHEMA_VERSION}, got {rec.get('schema')!r}"
+                f"meta.schema must be one of {SUPPORTED_SCHEMA_VERSIONS}, "
+                f"got {rec.get('schema')!r}"
             )
         return errors
     if not isinstance(rec.get("seq"), int):
@@ -330,6 +417,21 @@ def validate_record(rec: Mapping[str, Any]) -> list[str]:
     replica = rec.get("replica")
     if replica is not None and not isinstance(replica, int):
         errors.append(f"replica must be an integer when present, got {replica!r}")
+    cause_id = rec.get("cause_id")
+    if cause_id is not None and (not isinstance(cause_id, str) or not cause_id):
+        errors.append(
+            f"cause_id must be a non-empty string when present, got {cause_id!r}"
+        )
+    parents = rec.get("parents")
+    if parents is not None:
+        if cause_id is None:
+            errors.append("parents requires a cause_id on the same record")
+        if not isinstance(parents, (list, tuple)) or not all(
+            isinstance(p, str) and p for p in parents
+        ):
+            errors.append(
+                f"parents must be a list of non-empty strings, got {parents!r}"
+            )
     return errors
 
 

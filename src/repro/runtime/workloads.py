@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from repro import obs as obs_api
 from repro.analysis.scenarios import predicted_class_for
+from repro.core.maintenance import determine_action
 from repro.diagnosis.diag_das import DiagnosticService
 from repro.faults.campaign import (
     CampaignReplicaOutcome,
@@ -46,9 +47,10 @@ def run_campaign_replica(replica: ReplicaTask) -> CampaignReplicaOutcome:
     # built once and cached by repro.presets._figure10_static, so the
     # per-replica cost is only the seeded state instantiation.
     spec = replica.spec if replica.spec is not None else CampaignReplicaSpec()
+    provenance = getattr(spec, "obs_provenance", False)
     obs = (
-        obs_api.Observability(trace=spec.obs_trace)
-        if getattr(spec, "obs_enabled", False)
+        obs_api.Observability(trace=spec.obs_trace, provenance=provenance)
+        if getattr(spec, "obs_enabled", False) or provenance
         else None
     )
     previous = obs_api.set_obs(obs) if obs is not None else None
@@ -70,10 +72,30 @@ def run_campaign_replica(replica: ReplicaTask) -> CampaignReplicaOutcome:
         plan = campaign.run(replica.rng())
         cluster.run(spec.horizon_us + spec.settle_us)
         verdicts = service.verdicts()
+        if obs is not None and provenance:
+            # Drive the Fig. 11 decision for every verdict so causal
+            # chains terminate at the maintenance leaf.  Pure lookup —
+            # the simulation and the attribution scoring are untouched.
+            for verdict in verdicts:
+                determine_action(verdict)
     finally:
         if obs is not None:
             obs_api.set_obs(previous)
 
+    if obs is not None and provenance:
+        # Fold the replica's causal DAG into its own registry *before*
+        # the snapshot ships: stage-latency histograms then merge through
+        # the index-ordered reduce exactly like every other counter, so
+        # workers=N aggregates stay bit-identical to workers=1.  The
+        # compact causal log feeds the fold, so record retention is only
+        # paid when the spec also asks for the trace itself; in fold-only
+        # runs the symptom/dissemination layers come straight from the
+        # tracker's ledgers and are never logged at all.
+        obs_api.fold_stage_latencies(
+            obs.tracer.causal_log,
+            obs.counters,
+            tracker=None if obs.tracer.keeps_records else obs.provenance,
+        )
     obs_counters = obs.snapshot() if obs is not None else None
     obs_trace: tuple[dict, ...] = ()
     if obs is not None and spec.obs_trace:

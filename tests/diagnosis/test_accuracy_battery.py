@@ -120,6 +120,65 @@ def test_battery_counters_track_the_pipeline(name, expected_class):
         )
 
 
+@lru_cache(maxsize=None)
+def _run_battery_case_with_provenance(name: str):
+    """Run one scenario under causal lineage (cached across tests)."""
+    scenario = {s.name: s for s in CATALOGUE}[name]
+    with obs.activated(obs.Observability(provenance=True)) as o:
+        run = run_scenario(scenario, seed=SEED, with_obd=False)
+        # Drive the Fig. 11 leaf inside the context so every chain can
+        # terminate at a maintenance.recommendation node.
+        for verdict in run.verdicts:
+            determine_action(verdict)
+    return run, tuple(o.trace_dicts())
+
+
+@pytest.mark.parametrize(
+    ("name", "expected_class", "expected_action"),
+    BATTERY,
+    ids=[name for name, _, _ in BATTERY],
+)
+def test_battery_provenance_chain_reaches_maintenance(
+    name, expected_class, expected_action
+):
+    """Schema-v2 acceptance: every fault class yields a complete
+    injected-fault -> maintenance-action chain via `explain`, with
+    monotonically non-decreasing sim timestamps along every path."""
+    from repro.obs.explain import explain
+
+    run, records = _run_battery_case_with_provenance(name)
+    result = explain(list(records), fault=run.descriptor.fault_id)
+    assert result["provenance"]
+    (chain,) = result["chains"]
+    assert chain["cls"] == expected_class.value
+    assert chain["terminal"] == "maintenance", (
+        f"{name}: chain stops at {chain['terminal']} "
+        f"(stages reached: {chain['stages']})"
+    )
+    assert expected_action.name in chain["maintenance_actions"]
+    assert chain["monotonic"], (
+        f"{name}: sim timestamps decrease along a causal path"
+    )
+    # Latency deltas exist for every consecutive pair of timed stages.
+    timed = [s for s in chain["stages"] if s in chain["stage_earliest_us"]]
+    assert list(chain["stage_latency_us"]) == [
+        f"{a}->{b}" for a, b in zip(timed, timed[1:])
+    ]
+
+
+def test_battery_provenance_does_not_perturb_the_verdicts():
+    """Lineage on vs off: same scenario, same verdict set."""
+    name = BATTERY[0][0]
+    plain, _, _ = _run_battery_case(name)
+    traced, _ = _run_battery_case_with_provenance(name)
+    assert [str(v.fru) for v in traced.verdicts] == [
+        str(v.fru) for v in plain.verdicts
+    ]
+    assert [v.fault_class for v in traced.verdicts] == [
+        v.fault_class for v in plain.verdicts
+    ]
+
+
 def test_battery_confusion_is_diagonal():
     """After all cases ran: every class attributed to itself, no leakage."""
     for name, _, _ in BATTERY:

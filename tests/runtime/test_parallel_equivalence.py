@@ -58,6 +58,38 @@ def test_campaign_obs_counters_aggregate_identically_across_workers():
         } == {result.index}
 
 
+def test_campaign_provenance_aggregates_identically_across_workers():
+    """The schema-v2 acceptance case: per-stage latency histograms and
+    chain-coverage counters merge bit-identically for any worker count."""
+    spec = CampaignReplicaSpec(
+        expected_faults=3.0,
+        horizon_us=ms(400),
+        obs_enabled=True,
+        obs_provenance=True,
+    )
+    serial = run_random_campaigns(6, root_seed=11, spec=spec, workers=1)
+    parallel = run_random_campaigns(6, root_seed=11, spec=spec, workers=4)
+    counters = serial.value.obs_counters
+    assert counters is not None
+    assert counters == parallel.value.obs_counters
+    assert serial.value == parallel.value
+    # The fold actually produced stage-latency and coverage aggregates.
+    assert any(
+        key.startswith("provenance.stage_latency_us{")
+        for key in counters["histograms"]
+    )
+    chains = {
+        key: value
+        for key, value in counters["counters"].items()
+        if key.startswith("provenance.chains{")
+    }
+    assert sum(chains.values()) >= 6  # at least one chain per replica
+    # Lineage must not perturb the campaign itself.
+    baseline = run_random_campaigns(6, root_seed=11, spec=SPEC, workers=1)
+    assert baseline.value.plan_digest == serial.value.plan_digest
+    assert baseline.value.events_simulated == serial.value.events_simulated
+
+
 def test_campaign_different_root_seed_different_plans():
     a = run_random_campaigns(4, root_seed=1, spec=SPEC, workers=1)
     b = run_random_campaigns(4, root_seed=2, spec=SPEC, workers=1)

@@ -21,6 +21,13 @@ Commands
 ``bathtub``
     Print the Fig. 7 bathtub curve as an ASCII series.
 
+``resume PATH``
+    Continue an interrupted checkpointed campaign from its JSONL ledger
+    (written by ``mc``/``fleet``/``campaign --checkpoint PATH``).  The
+    ledger header records the original invocation; already-completed
+    replicas are loaded, the rest are executed, and the final aggregate
+    is bit-identical to an uninterrupted run.
+
 ``obs report PATH``
     Validate a recorded JSONL obs trace and render its summary.
 ``obs export --format chrome PATH``
@@ -34,7 +41,11 @@ Commands
 Campaign-style commands accept ``--workers N`` to fan replicas out over
 the spawn-safe process pool (bit-identical results to ``--workers 1``;
 see ``docs/parallel_runtime.md``) and ``--metrics-json PATH`` to write
-the structured run-metrics record.
+the structured run-metrics record.  ``--checkpoint PATH`` makes the run
+durable (chunk-granular JSONL ledger, resumable with ``repro resume``);
+``--salvage`` degrades gracefully on retry exhaustion — the partial
+aggregate is returned with an explicit completeness report instead of
+the run stalling in the serial fallback.
 
 Observability flags (``docs/observability.md``): ``--trace PATH`` writes
 a schema-v2 JSONL obs trace of the run (for ``mc`` the parent aggregates
@@ -103,9 +114,65 @@ def _emit_metrics(args: argparse.Namespace, metrics) -> None:
         f"{metrics.events_simulated:,} events, "
         f"{metrics.events_per_second:,.0f} events/s]"
     )
+    if metrics.replicas_failed:
+        print(
+            f"[warning: {metrics.replicas_failed} replica(s) failed "
+            "after retry exhaustion — partial aggregate]"
+        )
+    if metrics.leaked_worker_pids:
+        print(
+            "[warning: worker processes still alive after the bounded "
+            f"shutdown wait: {list(metrics.leaked_worker_pids)}]"
+        )
     if getattr(args, "metrics_json", None):
         path = metrics.write_json(args.metrics_json)
         print(f"[metrics written to {path}]")
+
+
+def _emit_completeness(outcome) -> None:
+    """Resume provenance + explicit salvage report for runner outcomes."""
+    metrics = outcome.metrics
+    if metrics.replicas_resumed:
+        print(
+            f"[resumed: {metrics.replicas_resumed} replica(s) loaded "
+            f"from the checkpoint ledger, "
+            f"{metrics.replicas - metrics.replicas_resumed} executed]"
+        )
+    if outcome.failures:
+        report = outcome.completeness()
+        print(
+            f"[PARTIAL RESULT: {report['replicas_completed']}/"
+            f"{report['replicas_expected']} replicas completed; "
+            f"failed indices: {report['failed_indices']}]"
+        )
+        for line in report["failures"]:
+            print(f"  - {line}")
+
+
+def _checkpoint_kwargs(args: argparse.Namespace, command: str, params: dict):
+    """Runner keyword arguments shared by the campaign-style commands."""
+    checkpoint = getattr(args, "checkpoint", None)
+    meta = None
+    if checkpoint:
+        meta = {
+            "command": command,
+            "params": {
+                "seed": args.seed,
+                "workers": args.workers,
+                "trace": args.trace,
+                "profile": args.profile,
+                "provenance": args.provenance,
+                "metrics_json": args.metrics_json,
+                "salvage": args.salvage,
+                **params,
+            },
+        }
+    return {
+        "on_exhausted": "salvage" if args.salvage else "serial",
+        "checkpoint": checkpoint,
+        "resume": bool(getattr(args, "_resume", False)),
+        "checkpoint_meta": meta,
+    }
 
 
 def cmd_demo(args: argparse.Namespace) -> int:
@@ -146,7 +213,11 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         f"running {len(CATALOGUE)} scenarios "
         f"(workers={args.workers}) ..."
     )
-    result = run_campaign(seeds=(args.seed,), workers=args.workers)
+    result = run_campaign(
+        seeds=(args.seed,),
+        workers=args.workers,
+        **_checkpoint_kwargs(args, "campaign", {}),
+    )
     matrix = result.score.matrix
     print(
         render_table(
@@ -187,6 +258,9 @@ def cmd_mc(args: argparse.Namespace) -> int:
     from repro.runtime.workloads import run_random_campaigns
     from repro.units import ms
 
+    if args.replicas <= 0:
+        print("0 replicas — nothing to run, nothing to aggregate")
+        return 0
     want_trace = bool(args.trace) or args.profile
     spec = CampaignReplicaSpec(
         expected_faults=args.expected_faults,
@@ -200,9 +274,25 @@ def cmd_mc(args: argparse.Namespace) -> int:
         f"(workers={args.workers}, horizon={args.horizon_ms} ms) ..."
     )
     outcome = run_random_campaigns(
-        args.replicas, root_seed=args.seed, spec=spec, workers=args.workers
+        args.replicas,
+        root_seed=args.seed,
+        spec=spec,
+        workers=args.workers,
+        **_checkpoint_kwargs(
+            args,
+            "mc",
+            {
+                "replicas": args.replicas,
+                "expected_faults": args.expected_faults,
+                "horizon_ms": args.horizon_ms,
+            },
+        ),
     )
     summary = outcome.value
+    if not outcome.results:
+        _emit_completeness(outcome)
+        print("no replicas completed — no aggregate to report")
+        return 1
     if want_trace:
         _emit_mc_obs(args, outcome, summary)
     print(
@@ -232,6 +322,7 @@ def cmd_mc(args: argparse.Namespace) -> int:
     )
     if args.provenance and summary.obs_counters is not None:
         _print_mc_provenance(summary.obs_counters)
+    _emit_completeness(outcome)
     _emit_metrics(args, outcome.metrics)
     return 0
 
@@ -308,6 +399,15 @@ def cmd_fleet(args: argparse.Namespace) -> int:
         fault_probability=args.fault_prob,
         drive_duration_us=ms(args.drive_ms),
         workers=args.workers,
+        **_checkpoint_kwargs(
+            args,
+            "fleet",
+            {
+                "vehicles": args.vehicles,
+                "fault_prob": args.fault_prob,
+                "drive_ms": args.drive_ms,
+            },
+        ),
     )
     totals = result.report.totals()
     print(
@@ -452,6 +552,76 @@ def cmd_explain(args: argparse.Namespace) -> int:
     return 0
 
 
+#: Parser defaults of the options ``resume`` may override; a post-
+#: ``resume`` flag wins over the recorded invocation only when it
+#: differs from the default (the seed is deliberately NOT overridable —
+#: it is part of the ledger's campaign identity).
+_RESUME_OVERRIDABLE: dict[str, object] = {
+    "workers": 1,
+    "metrics_json": None,
+    "trace": None,
+    "profile": False,
+    "salvage": False,
+}
+
+#: Per-command parser defaults ``cmd_resume`` starts from before
+#: applying the ledger's recorded params.
+_RESUME_COMMAND_DEFAULTS: dict[str, dict[str, object]] = {
+    "mc": {"replicas": 20, "expected_faults": 3.0, "horizon_ms": 2_000},
+    "campaign": {},
+    "fleet": {"vehicles": 10, "fault_prob": 0.6, "drive_ms": 2_000},
+}
+
+
+def cmd_resume(args: argparse.Namespace) -> int:
+    from repro.errors import ConfigurationError
+    from repro.runtime.checkpoint import read_header
+
+    try:
+        meta = read_header(args.path)
+    except ConfigurationError as exc:
+        print(
+            f"invalid checkpoint ledger {args.path}: {exc}",
+            file=sys.stderr,
+        )
+        return 1
+    command = meta.get("command")
+    if command not in _RESUME_COMMAND_DEFAULTS:
+        print(
+            f"ledger {args.path} does not record a resumable command "
+            f"(got {command!r}); write it with "
+            "`python -m repro <mc|fleet|campaign> --checkpoint PATH`",
+            file=sys.stderr,
+        )
+        return 2
+    ns: dict[str, object] = {
+        "seed": 42,
+        "provenance": False,
+        **_RESUME_OVERRIDABLE,
+        **_RESUME_COMMAND_DEFAULTS[command],
+    }
+    params = meta.get("params") or {}
+    ns.update({k: v for k, v in params.items() if k in ns})
+    for key, default in _RESUME_OVERRIDABLE.items():
+        value = getattr(args, key, default)
+        if value != default:
+            ns[key] = value
+    ns["checkpoint"] = args.path
+    ns["_resume"] = True
+    ns["command"] = command
+    resumed = argparse.Namespace(**ns)
+    print(
+        f"resuming {command} campaign from {args.path} "
+        f"(seed {resumed.seed}, workers={resumed.workers}) ..."
+    )
+    handler = {"mc": cmd_mc, "campaign": cmd_campaign, "fleet": cmd_fleet}[
+        command
+    ]
+    if command != "mc" and (resumed.trace or resumed.profile):
+        return _run_observed(handler, resumed)
+    return handler(resumed)
+
+
 #: Global options accepted both before and after the subcommand.
 _GLOBAL_OPTIONS: list[tuple[tuple[str, ...], dict]] = [
     (("--seed",), {"type": int, "default": 42}),
@@ -496,6 +666,30 @@ _GLOBAL_OPTIONS: list[tuple[tuple[str, ...], dict]] = [
                 "thread causal cause_id/parents lineage through the trace "
                 "(enables `repro explain`; for mc also prints the "
                 "per-stage latency breakdown)"
+            ),
+        },
+    ),
+    (
+        ("--checkpoint",),
+        {
+            "metavar": "PATH",
+            "default": None,
+            "help": (
+                "append every completed chunk to a durable JSONL ledger "
+                "at PATH; continue an interrupted run with "
+                "`python -m repro resume PATH`"
+            ),
+        },
+    ),
+    (
+        ("--salvage",),
+        {
+            "action": "store_true",
+            "default": False,
+            "help": (
+                "on retry exhaustion return the partial aggregate with an "
+                "explicit completeness report instead of finishing the "
+                "survivors serially in the parent"
             ),
         },
     ),
@@ -548,6 +742,12 @@ def main(argv: list[str] | None = None) -> int:
     scenario.add_argument("name")
     add_command("list", "list the scenario catalogue")
     add_command("bathtub", "print the Fig. 7 curve")
+    resume_cmd = sub.add_parser(
+        "resume",
+        help="continue an interrupted checkpointed campaign from its ledger",
+    )
+    resume_cmd.add_argument("path")
+    _add_global_options(resume_cmd, suppress=True)
     obs_cmd = sub.add_parser("obs", help="observability artefact tools")
     obs_sub = obs_cmd.add_subparsers(dest="obs_command")
     report = obs_sub.add_parser(
@@ -594,11 +794,12 @@ def main(argv: list[str] | None = None) -> int:
         "bathtub": cmd_bathtub,
         "obs": cmd_obs,
         "explain": cmd_explain,
+        "resume": cmd_resume,
     }
     if args.command is None:
         parser.print_help()
         return 1
-    if args.command in ("obs", "mc", "explain") or not (
+    if args.command in ("obs", "mc", "explain", "resume") or not (
         getattr(args, "trace", None) or getattr(args, "profile", False)
     ):
         return commands[args.command](args)

@@ -157,6 +157,10 @@ def simulate_diagnosed_fleet(
     *,
     workers: int = 1,
     chunk_size: int | None = None,
+    on_exhausted: str = "serial",
+    checkpoint: str | None = None,
+    resume: bool = False,
+    checkpoint_meta: dict | None = None,
 ) -> DiagnosedFleetResult:
     """Simulate ``n_vehicles`` full vehicles and collect OEM field data.
 
@@ -187,8 +191,20 @@ def simulate_diagnosed_fleet(
         lambda values: reduce_fleet(values, spec),
         workers=workers,
         chunk_size=chunk_size,
+        on_exhausted=on_exhausted,
     )
-    outcome = runner.run([spec] * n_vehicles, root_seed=seed)
+    outcome = runner.run(
+        [spec] * n_vehicles,
+        root_seed=seed,
+        checkpoint=checkpoint,
+        resume=resume,
+        checkpoint_meta=checkpoint_meta,
+    )
+    if not outcome.results:
+        raise AnalysisError(
+            "no vehicles completed: "
+            f"{outcome.completeness()['failures']!r}"
+        )
     result: DiagnosedFleetResult = outcome.value
     return DiagnosedFleetResult(
         report=result.report,

@@ -401,6 +401,10 @@ def run_campaign(
     *,
     workers: int = 1,
     chunk_size: int | None = None,
+    on_exhausted: str = "serial",
+    checkpoint: str | None = None,
+    resume: bool = False,
+    checkpoint_meta: dict | None = None,
 ) -> CampaignResult:
     """Run every scenario on every seed; score classification and costs.
 
@@ -416,6 +420,44 @@ def run_campaign(
     specs = [
         (scenario.name, seed) for seed in seeds for scenario in scenarios
     ]
+    if checkpoint is not None and workers <= 1:
+        # The serial fast path below keeps live ScenarioRun objects and
+        # bypasses the runner; checkpointing requires the runner's
+        # chunked ledger, so route through it.
+        workers = 1
+        catalogue_names = {s.name for s in CATALOGUE}
+        unknown = {name for name, _ in specs} - catalogue_names
+        if unknown:
+            raise AnalysisError(
+                "checkpointed campaigns only support catalogue scenarios; "
+                f"unknown: {sorted(unknown)!r}"
+            )
+        runner = ParallelCampaignRunner(
+            run_catalogue_cell,
+            reduce_catalogue_cells,
+            workers=1,
+            chunk_size=chunk_size,
+            on_exhausted=on_exhausted,
+        )
+        outcome = runner.run(
+            specs,
+            root_seed=0,
+            checkpoint=checkpoint,
+            resume=resume,
+            checkpoint_meta=checkpoint_meta,
+        )
+        result = (
+            outcome.value
+            if outcome.results
+            else reduce_catalogue_cells([])
+        )
+        return CampaignResult(
+            runs=result.runs,
+            score=result.score,
+            integrated_cost=result.integrated_cost,
+            obd_cost=result.obd_cost,
+            metrics=outcome.metrics,
+        )
     if workers > 1:
         catalogue_names = {s.name for s in CATALOGUE}
         unknown = {name for name, _ in specs} - catalogue_names
@@ -429,9 +471,20 @@ def run_campaign(
             reduce_catalogue_cells,
             workers=workers,
             chunk_size=chunk_size,
+            on_exhausted=on_exhausted,
         )
-        outcome = runner.run(specs, root_seed=0)
-        result: CampaignResult = outcome.value
+        outcome = runner.run(
+            specs,
+            root_seed=0,
+            checkpoint=checkpoint,
+            resume=resume,
+            checkpoint_meta=checkpoint_meta,
+        )
+        result = (
+            outcome.value
+            if outcome.results
+            else reduce_catalogue_cells([])
+        )
         return CampaignResult(
             runs=result.runs,
             score=result.score,

@@ -351,14 +351,18 @@ def summarize_campaign(
 
     The merge is performed in replica-index order and is therefore
     deterministic regardless of the order ``outcomes`` arrived in.
+    Indices must be unique but need not be dense: a salvaged partial
+    campaign (runner gave up on some replicas after retry exhaustion)
+    summarises the replicas that did complete, and the runner's
+    completeness report states which are missing.
     """
     if not outcomes:
         raise AnalysisError("cannot summarize an empty campaign")
     ordered = sorted(outcomes, key=lambda o: o.index)
     indices = [o.index for o in ordered]
-    if indices != list(range(len(ordered))):
+    if len(set(indices)) != len(indices) or indices[0] < 0:
         raise AnalysisError(
-            f"replica outcomes are not a dense index range: {indices!r}"
+            f"replica outcomes are not a unique index set: {indices!r}"
         )
     injected: dict[str, int] = {}
     attributed: dict[str, int] = {}

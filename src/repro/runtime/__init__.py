@@ -14,15 +14,29 @@ Design contract
 * The reduce step consumes replica results sorted by index, so the
   aggregate is a pure function of ``(root_seed, specs)``.
 * Work is submitted in chunks; a crashed worker process only costs the
-  chunks in flight, which are retried on a fresh pool and, as a last
-  resort, executed serially in the parent.
+  chunks in flight.  Results are deduplicated by replica index and
+  chunks are retired the moment they report, so no crash interleaving
+  can duplicate or lose a replica; unrecovered chunks are retried with
+  exponential backoff and finish serially in the parent (or are
+  salvaged into an explicit partial outcome, policy-dependent).
+* With a checkpoint ledger (:mod:`repro.runtime.checkpoint`) every
+  completed chunk is durably appended, so an interrupted campaign
+  resumes where it stopped and still reduces bit-identically.
 
 See ``docs/parallel_runtime.md`` for the full scheme.
 """
 
+from repro.runtime.checkpoint import (
+    CheckpointLedger,
+    LedgerState,
+    load_ledger,
+    read_header,
+    spec_digest,
+)
 from repro.runtime.metrics import RunMetrics
 from repro.runtime.runner import (
     ParallelCampaignRunner,
+    ReplicaFailure,
     ReplicaResult,
     ReplicaTask,
     RunOutcome,
@@ -31,15 +45,23 @@ from repro.runtime.seeds import (
     replica_rng,
     replica_sequence,
     replica_state_seed,
+    stream_fingerprint,
 )
 
 __all__ = [
+    "CheckpointLedger",
+    "LedgerState",
     "ParallelCampaignRunner",
+    "ReplicaFailure",
     "ReplicaResult",
     "ReplicaTask",
     "RunMetrics",
     "RunOutcome",
+    "load_ledger",
+    "read_header",
     "replica_rng",
     "replica_sequence",
     "replica_state_seed",
+    "spec_digest",
+    "stream_fingerprint",
 ]

@@ -35,7 +35,21 @@ class RunMetrics:
     events_per_second:
         ``events_simulated / wall_time_s`` — the headline throughput.
     retries:
-        Chunks that had to be resubmitted after a worker crash.
+        Chunks that had to be resubmitted after a worker crash or a
+        captured replica failure — only chunks that genuinely re-ran;
+        chunks whose results were drained from a breaking pool are
+        never counted (or re-executed).
+    leaked_worker_pids:
+        Worker processes that were still alive after the bounded
+        pool-shutdown wait (candidates for an external reaper; an empty
+        tuple means every worker exited cleanly).
+    replicas_failed:
+        Replicas that produced no value after retry exhaustion
+        (non-zero only under the ``"salvage"`` policy).
+    replicas_resumed:
+        Replicas loaded from a checkpoint ledger instead of executed;
+        their compute happened in a previous process, so they are
+        excluded from ``events_simulated`` and busy-time accounting.
     worker_busy_s:
         Cumulative in-replica compute time attributed to each worker
         (keyed by worker label, e.g. ``"pid-1234"`` or ``"serial"``).
@@ -53,6 +67,9 @@ class RunMetrics:
     retries: int = 0
     worker_busy_s: dict[str, float] = field(default_factory=dict)
     worker_utilization: dict[str, float] = field(default_factory=dict)
+    leaked_worker_pids: tuple[int, ...] = ()
+    replicas_failed: int = 0
+    replicas_resumed: int = 0
 
     def to_dict(self) -> dict[str, Any]:
         """Plain-dict form (JSON-safe scalars only)."""
@@ -71,6 +88,9 @@ class RunMetrics:
                 k: round(v, 4)
                 for k, v in sorted(self.worker_utilization.items())
             },
+            "leaked_worker_pids": list(self.leaked_worker_pids),
+            "replicas_failed": self.replicas_failed,
+            "replicas_resumed": self.replicas_resumed,
         }
 
     def to_json(self, *, indent: int = 2) -> str:
@@ -94,6 +114,9 @@ class RunMetrics:
         retries: int,
         events: list[int],
         busy_by_worker: dict[str, float],
+        leaked_worker_pids: tuple[int, ...] = (),
+        replicas_failed: int = 0,
+        replicas_resumed: int = 0,
     ) -> "RunMetrics":
         """Assemble the record from per-replica accounting."""
         total_events = int(sum(events))
@@ -110,4 +133,7 @@ class RunMetrics:
             worker_utilization={
                 k: v / wall for k, v in busy_by_worker.items()
             },
+            leaked_worker_pids=tuple(leaked_worker_pids),
+            replicas_failed=replicas_failed,
+            replicas_resumed=replicas_resumed,
         )

@@ -17,15 +17,32 @@ The aggregate is a pure function of ``(root_seed, specs)``:
   callable sorted by index.
 
 Hence ``workers=1`` and ``workers=64`` produce bit-identical aggregates,
-which the test suite asserts (``tests/runtime/``).
+which the test suite asserts (``tests/runtime/``).  The same contract
+extends to interruption: a run that is killed and resumed from its
+checkpoint ledger reduces to the identical aggregate (see
+:mod:`repro.runtime.checkpoint`).
 
 Fault tolerance
 ---------------
-Work is submitted in chunks.  A worker crash (OOM-kill, segfault in a
-native extension) breaks the whole pool; the runner catches that,
-rebuilds the pool and resubmits only the chunks that never reported a
-result — up to ``max_retries`` times, after which the survivors run
-serially in the parent process so a run always completes.
+Work is submitted in chunks.  Three failure modes are handled:
+
+* **Worker crash** (OOM-kill, segfault in a native extension, hard
+  ``os._exit``): the pool breaks.  The runner drains every future that
+  did complete — a chunk is popped from ``pending`` *before* its results
+  are recorded and results are deduplicated by replica index, so a crash
+  interleaved with successful siblings in the same wait batch can never
+  duplicate or lose a replica — then rebuilds the pool and resubmits
+  only the chunks that never reported, with exponential backoff between
+  attempts.
+* **Replica exception**: a task that raises inside a worker no longer
+  aborts the pool.  The exception is captured as a structured
+  :class:`ReplicaFailure` and the replica is retried (same bounded
+  backoff schedule).
+* **Retry exhaustion**: governed by ``on_exhausted`` — ``"serial"``
+  (default) finishes the survivors in the parent process so a run always
+  completes; ``"salvage"`` gives up on the failed replicas and returns a
+  partial outcome with an explicit completeness report instead of
+  stalling, which is what long unattended campaigns want.
 
 The task callable must be defined at module top level (spawn pickles it
 by reference) and must accept one :class:`ReplicaTask` argument.
@@ -36,10 +53,12 @@ from __future__ import annotations
 import multiprocessing
 import os
 import time
+import traceback as _traceback
 from collections.abc import Callable, Sequence
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
+from pathlib import Path
 from typing import Any
 
 import numpy as np
@@ -50,6 +69,18 @@ from repro.runtime.seeds import replica_rng, replica_sequence, replica_state_see
 
 #: Hard ceiling on worker processes (guards against misconfiguration).
 MAX_WORKERS = 64
+
+#: Worker label of the in-process serial path (``workers=1``).
+SERIAL_WORKER = "serial"
+
+#: Worker label of the post-retry fallback executing in the parent.  It
+#: is deliberately distinct from both :data:`SERIAL_WORKER` and the
+#: ``pid-*`` labels of pool workers so busy-time accounting can never
+#: merge parent compute with a (possibly pid-reused) pre-crash worker.
+FALLBACK_WORKER = "serial-fallback"
+
+#: Retry-exhaustion policies (see class docstring).
+EXHAUSTION_POLICIES = ("serial", "salvage")
 
 
 @dataclass(frozen=True, slots=True)
@@ -85,27 +116,97 @@ class ReplicaResult:
 
 
 @dataclass(frozen=True, slots=True)
+class ReplicaFailure:
+    """Structured record of a replica that produced no value.
+
+    Either the task raised (``error_type``/``message``/``traceback``
+    carry the exception) or the worker executing it died
+    (``error_type == "WorkerCrash"``).  ``attempts`` counts how many
+    times the replica was tried before the runner gave up on it.
+    """
+
+    index: int
+    error_type: str
+    message: str
+    traceback: str
+    attempts: int
+    worker: str
+
+    def describe(self) -> str:
+        return (
+            f"replica {self.index}: {self.error_type}: {self.message} "
+            f"(after {self.attempts} attempt(s) on {self.worker})"
+        )
+
+
+@dataclass(frozen=True, slots=True)
 class RunOutcome:
-    """Reduced aggregate plus per-replica results and run metrics."""
+    """Reduced aggregate plus per-replica results and run metrics.
+
+    ``failures`` is non-empty only under the ``"salvage"`` exhaustion
+    policy: the aggregate then covers the completed replicas only and
+    :meth:`completeness` states exactly what is missing.
+    """
 
     value: Any
     results: tuple[ReplicaResult, ...]
     metrics: RunMetrics
+    failures: tuple[ReplicaFailure, ...] = ()
+
+    @property
+    def complete(self) -> bool:
+        """True when every requested replica produced a result."""
+        return not self.failures
 
     def values(self) -> list[Any]:
         """Replica values in index order."""
         return [r.value for r in self.results]
 
+    def completeness(self) -> dict[str, Any]:
+        """Explicit salvage report: what completed, what was lost."""
+        expected = self.metrics.replicas
+        return {
+            "complete": self.complete,
+            "replicas_expected": expected,
+            "replicas_completed": len(self.results),
+            "replicas_failed": len(self.failures),
+            "failed_indices": [f.index for f in self.failures],
+            "failures": [f.describe() for f in self.failures],
+        }
+
 
 def _execute_chunk(
-    task: Callable[[ReplicaTask], Any], tasks: list[ReplicaTask]
-) -> list[ReplicaResult]:
-    """Run one chunk of replicas; top-level so spawn can pickle it."""
-    worker = f"pid-{os.getpid()}"
-    out: list[ReplicaResult] = []
+    task: Callable[[ReplicaTask], Any],
+    tasks: list[ReplicaTask],
+    worker_label: str | None = None,
+    capture_errors: bool = False,
+) -> list[ReplicaResult | ReplicaFailure]:
+    """Run one chunk of replicas; top-level so spawn can pickle it.
+
+    With ``capture_errors`` a raising task yields a
+    :class:`ReplicaFailure` instead of aborting the chunk, so one bad
+    replica cannot take down the results of its chunk siblings.
+    """
+    worker = worker_label if worker_label is not None else f"pid-{os.getpid()}"
+    out: list[ReplicaResult | ReplicaFailure] = []
     for replica in tasks:
         t0 = time.perf_counter()
-        value = task(replica)
+        try:
+            value = task(replica)
+        except Exception as exc:  # noqa: BLE001 - converted to data
+            if not capture_errors:
+                raise
+            out.append(
+                ReplicaFailure(
+                    index=replica.index,
+                    error_type=type(exc).__name__,
+                    message=str(exc),
+                    traceback=_traceback.format_exc(),
+                    attempts=1,
+                    worker=worker,
+                )
+            )
+            continue
         elapsed = time.perf_counter() - t0
         events = int(getattr(value, "events_simulated", 0) or 0)
         out.append(
@@ -132,7 +233,9 @@ class ParallelCampaignRunner:
     reduce:
         Optional ``reduce(values_in_index_order) -> aggregate``.  Must be
         order-deterministic; it always receives values sorted by replica
-        index.  Defaults to returning the tuple of values.
+        index.  Defaults to returning the tuple of values.  Never called
+        for an empty campaign — ``run([])`` short-circuits to an empty
+        outcome instead of handing ``[]`` to fold reducers that reject it.
     workers:
         Worker processes.  ``1`` (default) runs serially in-process —
         no pool, no pickling, the exact same code path a single replica
@@ -142,8 +245,22 @@ class ParallelCampaignRunner:
         roughly four chunks per worker (amortises submission overhead
         while keeping crash blast radius and tail latency small).
     max_retries:
-        Pool rebuilds allowed after worker crashes before the remaining
-        chunks fall back to serial execution in the parent.
+        Pool rebuilds / replica retries allowed after crashes or task
+        exceptions before the ``on_exhausted`` policy applies.
+    retry_backoff_s:
+        Base of the exponential backoff slept before resubmission
+        attempt ``k`` (``retry_backoff_s * 2**(k-1)``).  ``0`` disables
+        the sleep (tests).
+    shutdown_timeout_s:
+        Bounded wait for pool workers to exit when a pool is torn down;
+        workers still alive afterwards are reported as
+        ``leaked_worker_pids`` in :class:`RunMetrics` instead of being
+        silently left behind while the next pool starts.
+    on_exhausted:
+        ``"serial"`` (default) finishes unrecovered chunks in the parent
+        process; ``"salvage"`` returns a partial :class:`RunOutcome`
+        carrying :class:`ReplicaFailure` records and a completeness
+        report.
     """
 
     def __init__(
@@ -154,6 +271,9 @@ class ParallelCampaignRunner:
         workers: int = 1,
         chunk_size: int | None = None,
         max_retries: int = 2,
+        retry_backoff_s: float = 0.05,
+        shutdown_timeout_s: float = 5.0,
+        on_exhausted: str = "serial",
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -163,42 +283,126 @@ class ParallelCampaignRunner:
             raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
         if max_retries < 0:
             raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        if retry_backoff_s < 0:
+            raise ValueError(
+                f"retry_backoff_s must be >= 0, got {retry_backoff_s}"
+            )
+        if shutdown_timeout_s < 0:
+            raise ValueError(
+                f"shutdown_timeout_s must be >= 0, got {shutdown_timeout_s}"
+            )
+        if on_exhausted not in EXHAUSTION_POLICIES:
+            raise ValueError(
+                f"on_exhausted must be one of {EXHAUSTION_POLICIES}, "
+                f"got {on_exhausted!r}"
+            )
         self.task = task
         self.reduce = reduce
         self.workers = workers
         self.chunk_size = chunk_size
         self.max_retries = max_retries
+        self.retry_backoff_s = retry_backoff_s
+        self.shutdown_timeout_s = shutdown_timeout_s
+        self.on_exhausted = on_exhausted
 
     # -- public API -------------------------------------------------------
 
-    def run(self, specs: Sequence[Any], root_seed: int = 0) -> RunOutcome:
+    def run(
+        self,
+        specs: Sequence[Any],
+        root_seed: int = 0,
+        *,
+        checkpoint: str | Path | None = None,
+        resume: bool = False,
+        checkpoint_meta: dict[str, Any] | None = None,
+    ) -> RunOutcome:
         """Execute one replica per spec; reduce deterministically.
 
         ``specs[i]`` becomes replica ``i`` with seed stream
         ``SeedSequence(root_seed, spawn_key=(i,))``.  Pass ``range(n)``
         (or ``[spec] * n``) for homogeneous campaigns.
+
+        With ``checkpoint`` every completed chunk is appended to a
+        durable JSONL ledger at that path; ``resume=True`` additionally
+        loads any matching ledger first and re-executes only the
+        replicas it does not cover.  The reduced aggregate of an
+        interrupted-then-resumed run is bit-identical to an
+        uninterrupted one (the ledger stores the full per-replica
+        values, and the reduce always sees all of them in index order).
         """
         tasks = [
             ReplicaTask(index=i, root_seed=int(root_seed), spec=spec)
             for i, spec in enumerate(specs)
         ]
         chunk_size = self._effective_chunk_size(len(tasks))
+        if not tasks:
+            # Short-circuit: never hand [] to fold reducers (several
+            # reject empty campaigns); an explicitly empty outcome is
+            # the well-defined answer.
+            return RunOutcome(
+                value=(),
+                results=(),
+                metrics=RunMetrics.from_results(
+                    replicas=0,
+                    workers=self.workers,
+                    chunk_size=chunk_size,
+                    wall_time_s=0.0,
+                    retries=0,
+                    events=[],
+                    busy_by_worker={},
+                ),
+            )
+
+        ledger = None
+        preloaded: dict[int, ReplicaResult] = {}
+        if checkpoint is not None:
+            from repro.runtime.checkpoint import CheckpointLedger
+
+            meta = checkpoint_meta or {}
+            ledger, preloaded = CheckpointLedger.open(
+                checkpoint,
+                root_seed=int(root_seed),
+                specs=specs,
+                chunk_size=chunk_size,
+                workers=self.workers,
+                resume=resume,
+                command=meta.get("command"),
+                params=meta.get("params"),
+            )
+
         t0 = time.perf_counter()
+        leaked: list[int] = []
+        failures: dict[int, ReplicaFailure] = {}
         if self.workers == 1 or len(tasks) <= 1:
-            results = _execute_chunk(self.task, tasks)
-            retries = 0
+            results, retries = self._run_serial(
+                tasks, chunk_size, ledger, preloaded, failures
+            )
         else:
-            results, retries = self._run_pool(tasks, chunk_size)
+            results, retries = self._run_pool(
+                tasks, chunk_size, ledger, preloaded, failures, leaked
+            )
         wall = time.perf_counter() - t0
+        if ledger is not None:
+            ledger.close(completed=len(results), failed=len(failures))
 
         results.sort(key=lambda r: r.index)
-        if [r.index for r in results] != list(range(len(tasks))):
+        expected = set(range(len(tasks)))
+        have = {r.index for r in results}
+        duplicates = len(results) - len(have)
+        missing = sorted(expected - have - set(failures))
+        if duplicates or missing or (failures and self.on_exhausted != "salvage"):
+            # Structurally impossible after the dedup fix unless a
+            # subclass or reducer misbehaves — keep the guard.
             raise SimulationError(
                 "runner lost replicas: expected "
-                f"{len(tasks)}, got indices {[r.index for r in results]!r}"
+                f"{len(tasks)}, got indices {sorted(have)!r} "
+                f"(missing {missing!r}, failed "
+                f"{sorted(failures)!r}, duplicates {duplicates})"
             )
+
         busy: dict[str, float] = {}
-        for r in results:
+        fresh = [r for r in results if r.index not in preloaded]
+        for r in fresh:
             busy[r.worker] = busy.get(r.worker, 0.0) + r.elapsed_s
         metrics = RunMetrics.from_results(
             replicas=len(tasks),
@@ -206,12 +410,25 @@ class ParallelCampaignRunner:
             chunk_size=chunk_size,
             wall_time_s=wall,
             retries=retries,
-            events=[r.events for r in results],
+            events=[r.events for r in fresh],
             busy_by_worker=busy,
+            leaked_worker_pids=tuple(sorted(leaked)),
+            replicas_failed=len(failures),
+            replicas_resumed=len(preloaded),
         )
         values = [r.value for r in results]
-        value = self.reduce(values) if self.reduce is not None else tuple(values)
-        return RunOutcome(value=value, results=tuple(results), metrics=metrics)
+        if not values:
+            value = ()  # fully-salvaged run: nothing for fold reducers
+        elif self.reduce is not None:
+            value = self.reduce(values)
+        else:
+            value = tuple(values)
+        return RunOutcome(
+            value=value,
+            results=tuple(results),
+            metrics=metrics,
+            failures=tuple(failures[i] for i in sorted(failures)),
+        )
 
     # -- internals --------------------------------------------------------
 
@@ -223,28 +440,88 @@ class ParallelCampaignRunner:
         target_chunks = 4 * self.workers
         return max(1, -(-n // target_chunks))
 
-    def _run_pool(
+    def _chunked(
         self, tasks: list[ReplicaTask], chunk_size: int
+    ) -> list[list[ReplicaTask]]:
+        return [
+            tasks[lo : lo + chunk_size]
+            for lo in range(0, len(tasks), chunk_size)
+        ]
+
+    def _backoff(self, attempt: int) -> None:
+        """Exponential backoff before resubmission attempt ``attempt``."""
+        if self.retry_backoff_s > 0 and attempt > 0:
+            time.sleep(self.retry_backoff_s * (2 ** (attempt - 1)))
+
+    def _run_serial(
+        self,
+        tasks: list[ReplicaTask],
+        chunk_size: int,
+        ledger,
+        preloaded: dict[int, ReplicaResult],
+        failures: dict[int, ReplicaFailure],
     ) -> tuple[list[ReplicaResult], int]:
-        chunks: dict[int, list[ReplicaTask]] = {
-            cid: tasks[lo : lo + chunk_size]
-            for cid, lo in enumerate(range(0, len(tasks), chunk_size))
-        }
-        results: list[ReplicaResult] = []
-        pending = dict(chunks)
+        """In-process execution, chunked so the ledger sees progress.
+
+        Exceptions propagate under the ``"serial"`` policy (identical to
+        the historical workers=1 behaviour); under ``"salvage"`` they
+        become :class:`ReplicaFailure` records like everywhere else.
+        """
+        results: list[ReplicaResult] = list(preloaded.values())
+        capture = self.on_exhausted == "salvage"
+        for chunk in self._chunked(tasks, chunk_size):
+            todo = [t for t in chunk if t.index not in preloaded]
+            if not todo:
+                continue
+            out = _execute_chunk(
+                self.task,
+                todo,
+                worker_label=SERIAL_WORKER,
+                capture_errors=capture,
+            )
+            fresh = [r for r in out if isinstance(r, ReplicaResult)]
+            for r in out:
+                if isinstance(r, ReplicaFailure):
+                    failures[r.index] = r
+            results.extend(fresh)
+            if ledger is not None and fresh:
+                ledger.append_chunk(fresh)
+        return results, 0
+
+    def _run_pool(
+        self,
+        tasks: list[ReplicaTask],
+        chunk_size: int,
+        ledger,
+        preloaded: dict[int, ReplicaResult],
+        failures: dict[int, ReplicaFailure],
+        leaked: list[int],
+    ) -> tuple[list[ReplicaResult], int]:
+        results_by_index: dict[int, ReplicaResult] = dict(preloaded)
+        pending: dict[int, list[ReplicaTask]] = {}
+        next_cid = 0
+        for chunk in self._chunked(tasks, chunk_size):
+            todo = [t for t in chunk if t.index not in results_by_index]
+            if todo:
+                pending[next_cid] = todo
+            next_cid += 1
         retries = 0
-        attempts = 0
-        while pending and attempts <= self.max_retries:
-            if attempts > 0:
+        attempt = 0
+        while pending and attempt <= self.max_retries:
+            if attempt > 0:
                 retries += len(pending)
-            attempts += 1
+                self._backoff(attempt)
+            attempt += 1
+            newly_failed: dict[int, ReplicaFailure] = {}
             ctx = multiprocessing.get_context("spawn")
             executor = ProcessPoolExecutor(
                 max_workers=min(self.workers, len(pending)), mp_context=ctx
             )
             try:
                 futures = {
-                    executor.submit(_execute_chunk, self.task, chunk): cid
+                    executor.submit(
+                        _execute_chunk, self.task, chunk, None, True
+                    ): cid
                     for cid, chunk in pending.items()
                 }
                 not_done = set(futures)
@@ -254,17 +531,114 @@ class ParallelCampaignRunner:
                     )
                     for future in done:
                         cid = futures[future]
-                        results.extend(future.result())
-                        pending.pop(cid)
+                        try:
+                            chunk_results = future.result()
+                        except (BrokenProcessPool, OSError):
+                            # This chunk's worker died.  Leave the chunk
+                            # pending for the next attempt but KEEP
+                            # DRAINING the batch: sibling futures that
+                            # completed before the break still hold real
+                            # results, and skipping them would re-execute
+                            # their chunks (historically the duplicate-
+                            # resubmission bug that tripped the lost-
+                            # replicas guard).
+                            continue
+                        # Pop before recording, and dedupe by replica
+                        # index, so no interleaving of crash and
+                        # completion can double-count a replica.
+                        pending.pop(cid, None)
+                        fresh: list[ReplicaResult] = []
+                        for r in chunk_results:
+                            if isinstance(r, ReplicaFailure):
+                                failures[r.index] = replace(
+                                    r, attempts=attempt
+                                )
+                                newly_failed[r.index] = failures[r.index]
+                            elif r.index not in results_by_index:
+                                results_by_index[r.index] = r
+                                failures.pop(r.index, None)
+                                fresh.append(r)
+                        if ledger is not None and fresh:
+                            ledger.append_chunk(fresh)
             except (BrokenProcessPool, OSError):
-                # A worker died mid-flight.  Chunks already popped are
-                # safe; everything still pending is resubmitted on a
-                # fresh pool next iteration.
+                # Raised by submit()/wait() themselves when the pool is
+                # already broken; everything still pending is resubmitted
+                # on a fresh pool next iteration.
                 pass
             finally:
-                executor.shutdown(wait=False, cancel_futures=True)
-        if pending:
+                leaked.extend(self._shutdown_executor(executor))
+            if newly_failed and attempt <= self.max_retries:
+                # Resubmit raising replicas as fresh chunks; their
+                # failure records stay until a retry succeeds.
+                retry_tasks = [
+                    tasks[i] for i in sorted(newly_failed)
+                ]
+                for chunk in self._chunked(retry_tasks, chunk_size):
+                    pending[next_cid] = chunk
+                    next_cid += 1
+
+        leftovers = [
+            t
+            for cid in sorted(pending)
+            for t in pending[cid]
+            if t.index not in results_by_index
+        ]
+        exhausted_failures = sorted(
+            i for i in failures if i not in results_by_index
+        )
+        if self.on_exhausted == "serial":
             # Last resort: finish in the parent so the run completes.
-            for cid in sorted(pending):
-                results.extend(_execute_chunk(self.task, pending[cid]))
-        return results, retries
+            # Exceptions propagate here — after max_retries identical
+            # failures there is no point converting them again.
+            rerun = leftovers + [tasks[i] for i in exhausted_failures]
+            rerun.sort(key=lambda t: t.index)
+            if rerun:
+                out = _execute_chunk(
+                    self.task, rerun, worker_label=FALLBACK_WORKER
+                )
+                fresh = []
+                for r in out:
+                    if r.index not in results_by_index:
+                        results_by_index[r.index] = r
+                        failures.pop(r.index, None)
+                        fresh.append(r)
+                if ledger is not None and fresh:
+                    ledger.append_chunk(fresh)
+        else:
+            # Salvage: replicas lost to worker crashes get a structured
+            # failure record too (task exceptions already have one).
+            for t in leftovers:
+                failures.setdefault(
+                    t.index,
+                    ReplicaFailure(
+                        index=t.index,
+                        error_type="WorkerCrash",
+                        message=(
+                            "worker process died before the replica "
+                            f"reported (after {attempt} attempt(s))"
+                        ),
+                        traceback="",
+                        attempts=attempt,
+                        worker="pool",
+                    ),
+                )
+        return list(results_by_index.values()), retries
+
+    def _shutdown_executor(self, executor: ProcessPoolExecutor) -> list[int]:
+        """Tear a pool down with a bounded wait; report leaked workers.
+
+        ``shutdown(wait=False, cancel_futures=True)`` alone can leave
+        spawn workers alive while the next pool starts (they only exit
+        once they notice the closed call queue).  Join each worker with
+        a shared deadline and surface whoever is still alive so
+        :class:`RunMetrics` can report the leak instead of hiding it.
+        """
+        procs = list((executor._processes or {}).values())
+        executor.shutdown(wait=False, cancel_futures=True)
+        leaked: list[int] = []
+        deadline = time.monotonic() + self.shutdown_timeout_s
+        for proc in procs:
+            proc.join(timeout=max(0.0, deadline - time.monotonic()))
+            if proc.is_alive() and proc.pid is not None:
+                leaked.append(proc.pid)
+        return leaked

@@ -46,6 +46,19 @@ def replica_rng(root_seed: int, index: int) -> np.random.Generator:
     return np.random.default_rng(replica_sequence(root_seed, index))
 
 
+def stream_fingerprint(root_seed: int, index: int) -> str:
+    """Short stable hex fingerprint of replica ``index``'s stream.
+
+    The checkpoint ledger (:mod:`repro.runtime.checkpoint`) stamps every
+    persisted replica with this value so a resume can verify that the
+    loaded result really came from the stream the current ``(root_seed,
+    index)`` pair would assign — a corrupted or hand-edited ledger line
+    is rejected instead of silently skewing the aggregate.
+    """
+    state = replica_sequence(root_seed, index).generate_state(2, np.uint64)
+    return f"{int(state[0]):016x}{int(state[1]):016x}"
+
+
 def replica_state_seed(root_seed: int, index: int) -> int:
     """A scalar integer seed derived from replica ``index``'s stream.
 

@@ -142,20 +142,36 @@ def run_random_campaigns(
     *,
     workers: int = 1,
     chunk_size: int | None = None,
+    max_retries: int = 2,
+    on_exhausted: str = "serial",
+    checkpoint: str | None = None,
+    resume: bool = False,
+    checkpoint_meta: dict | None = None,
 ) -> RunOutcome:
     """Run ``replicas`` independent stochastic campaigns.
 
     Returns a :class:`~repro.runtime.runner.RunOutcome` whose ``value``
     is the deterministic :class:`CampaignSummary` aggregate — identical
-    for every ``workers`` setting given the same ``root_seed``.
+    for every ``workers`` setting given the same ``root_seed``, and for
+    an interrupted run resumed from its ``checkpoint`` ledger.
+    ``replicas=0`` yields the runner's explicit empty outcome (value
+    ``()``) instead of tripping the summary's empty-campaign check.
     """
-    if replicas < 1:
-        raise ValueError(f"replicas must be >= 1, got {replicas}")
+    if replicas < 0:
+        raise ValueError(f"replicas must be >= 0, got {replicas}")
     runner = ParallelCampaignRunner(
         run_campaign_replica,
         _reduce_campaign,
         workers=workers,
         chunk_size=chunk_size,
+        max_retries=max_retries,
+        on_exhausted=on_exhausted,
     )
     spec = spec if spec is not None else CampaignReplicaSpec()
-    return runner.run([spec] * replicas, root_seed=root_seed)
+    return runner.run(
+        [spec] * replicas,
+        root_seed=root_seed,
+        checkpoint=checkpoint,
+        resume=resume,
+        checkpoint_meta=checkpoint_meta,
+    )

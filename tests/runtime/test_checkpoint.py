@@ -1,0 +1,326 @@
+"""Checkpoint ledger: durability, tamper tolerance and the resume
+determinism contract.
+
+The acceptance case of the crash-proofing issue lives here: a campaign
+that is interrupted and resumed from its ledger produces **bit-identical**
+aggregates — and identical canonical obs digests — to an uninterrupted
+run, at ``workers=1`` and ``workers=4`` alike.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults.campaign import CampaignReplicaSpec
+from repro.obs import trace_digest
+from repro.runtime.checkpoint import (
+    CheckpointLedger,
+    load_ledger,
+    read_header,
+    spec_digest,
+)
+from repro.runtime.runner import ParallelCampaignRunner, ReplicaTask
+from repro.runtime.seeds import stream_fingerprint
+from repro.runtime.workloads import run_random_campaigns
+from repro.units import ms
+
+OBS_SPEC = CampaignReplicaSpec(
+    expected_faults=3.0,
+    horizon_us=ms(300),
+    obs_enabled=True,
+    obs_trace=True,
+)
+
+
+def draw_task(replica: ReplicaTask) -> float:
+    """First draw of the replica's private stream (spawn-picklable)."""
+    return float(replica.rng().random())
+
+
+def _ledger_lines(path) -> list[dict]:
+    return [
+        json.loads(line)
+        for line in path.read_text(encoding="utf-8").splitlines()
+        if line.strip()
+    ]
+
+
+def _truncate_to_first_chunk(src, dst) -> int:
+    """Copy header + first chunk line only; return replicas kept."""
+    kept = []
+    replicas_kept = 0
+    for record, line in zip(
+        _ledger_lines(src), src.read_text(encoding="utf-8").splitlines()
+    ):
+        if record["kind"] == "header":
+            kept.append(line)
+        elif record["kind"] == "chunk":
+            kept.append(line)
+            replicas_kept = len(record["indices"])
+            break
+    dst.write_text("\n".join(kept) + "\n", encoding="utf-8")
+    return replicas_kept
+
+
+def _obs_digest(outcome) -> str:
+    """Canonical digest over all replica trace records, index order."""
+    return trace_digest(
+        record
+        for result in outcome.results
+        for record in result.value.obs_trace
+    )
+
+
+# -- ledger mechanics ------------------------------------------------------
+
+
+def test_spec_digest_identity():
+    specs = [CampaignReplicaSpec(horizon_us=ms(300))] * 3
+    assert spec_digest(1, specs) == spec_digest(1, list(specs))
+    assert spec_digest(1, specs) != spec_digest(2, specs)
+    assert spec_digest(1, specs) != spec_digest(1, specs[:2])
+    assert spec_digest(1, specs) != spec_digest(
+        1, [CampaignReplicaSpec(horizon_us=ms(400))] * 3
+    )
+
+
+def test_ledger_roundtrip(tmp_path):
+    path = tmp_path / "ledger.jsonl"
+    runner = ParallelCampaignRunner(draw_task, chunk_size=2)
+    outcome = runner.run([None] * 5, root_seed=7, checkpoint=path)
+    state = load_ledger(path)
+    assert sorted(state.results_by_index) == [0, 1, 2, 3, 4]
+    assert state.sessions == 1
+    assert state.skipped_lines == 0
+    for result in outcome.results:
+        assert state.results_by_index[result.index].value == result.value
+    meta = state.meta
+    assert meta["root_seed"] == 7
+    assert meta["replicas"] == 5
+    assert meta["chunk_size"] == 2
+    assert meta["spec_digest"] == spec_digest(7, [None] * 5)
+    records = _ledger_lines(path)
+    assert records[0]["kind"] == "header"
+    assert records[-1]["kind"] == "close"
+    assert records[-1]["complete"] is True
+    assert records[-1]["completed"] == 5
+
+
+def test_resume_of_complete_ledger_executes_nothing(tmp_path):
+    path = tmp_path / "ledger.jsonl"
+    runner = ParallelCampaignRunner(draw_task, chunk_size=2)
+    first = runner.run([None] * 5, root_seed=7, checkpoint=path)
+    second = runner.run(
+        [None] * 5, root_seed=7, checkpoint=path, resume=True
+    )
+    assert second.values() == first.values()
+    m = second.metrics
+    assert m.replicas_resumed == 5
+    assert m.events_simulated == 0  # nothing executed this session
+    assert m.worker_busy_s == {}
+    kinds = [r["kind"] for r in _ledger_lines(path)]
+    assert kinds.count("resume") == 1
+    assert kinds.count("close") == 2
+
+
+def test_interrupted_then_resumed_equivalence_toy(tmp_path):
+    """Truncated ledger (simulated crash) + resume == uninterrupted,
+    for both a serial and a pooled resume."""
+    reference = ParallelCampaignRunner(draw_task, chunk_size=2).run(
+        [None] * 8, root_seed=13
+    )
+    full = tmp_path / "full.jsonl"
+    ParallelCampaignRunner(draw_task, chunk_size=2).run(
+        [None] * 8, root_seed=13, checkpoint=full
+    )
+    for workers in (1, 3):
+        trunc = tmp_path / f"trunc-w{workers}.jsonl"
+        kept = _truncate_to_first_chunk(full, trunc)
+        assert 0 < kept < 8
+        resumed = ParallelCampaignRunner(
+            draw_task, workers=workers, chunk_size=2
+        ).run([None] * 8, root_seed=13, checkpoint=trunc, resume=True)
+        assert resumed.values() == reference.values()
+        assert resumed.metrics.replicas_resumed == kept
+
+
+def test_corrupted_tail_is_skipped_and_reexecuted(tmp_path):
+    path = tmp_path / "ledger.jsonl"
+    runner = ParallelCampaignRunner(draw_task, chunk_size=2)
+    first = runner.run([None] * 5, root_seed=7, checkpoint=path)
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write('{"kind": "chunk", "payload": "AAAA", "sha2')  # torn write
+        fh.write("\n")
+        fh.write(
+            json.dumps(
+                {
+                    "kind": "chunk",
+                    "indices": [9],
+                    "payload": "AAAA",
+                    "sha256": "0" * 64,
+                    "streams": {},
+                }
+            )
+            + "\n"
+        )
+    state = load_ledger(path)
+    assert state.skipped_lines == 2
+    assert sorted(state.results_by_index) == [0, 1, 2, 3, 4]
+    resumed = runner.run(
+        [None] * 5, root_seed=7, checkpoint=path, resume=True
+    )
+    assert resumed.values() == first.values()
+    assert resumed.metrics.replicas_resumed == 5
+
+
+def test_stream_fingerprint_guard_forces_reexecution(tmp_path):
+    """A chunk whose replica carries the wrong seed-stream fingerprint
+    is not trusted: the replica re-executes and the aggregate is still
+    exactly the uninterrupted one."""
+    path = tmp_path / "ledger.jsonl"
+    runner = ParallelCampaignRunner(draw_task, chunk_size=1)
+    first = runner.run([None] * 4, root_seed=7, checkpoint=path)
+    lines = path.read_text(encoding="utf-8").splitlines()
+    doctored = []
+    tampered = False
+    for line in lines:
+        record = json.loads(line)
+        if record.get("kind") == "chunk" and not tampered:
+            index = record["indices"][0]
+            record["streams"][str(index)] = "f" * 32
+            line = json.dumps(record, sort_keys=True)
+            tampered = True
+        doctored.append(line)
+    path.write_text("\n".join(doctored) + "\n", encoding="utf-8")
+    state = load_ledger(path)
+    assert state.skipped_lines == 1
+    assert len(state.results_by_index) == 3
+    resumed = runner.run(
+        [None] * 4, root_seed=7, checkpoint=path, resume=True
+    )
+    assert resumed.values() == first.values()
+    assert resumed.metrics.replicas_resumed == 3
+
+
+def test_resume_rejects_mismatched_campaign(tmp_path):
+    path = tmp_path / "ledger.jsonl"
+    runner = ParallelCampaignRunner(draw_task, chunk_size=2)
+    runner.run([None] * 5, root_seed=7, checkpoint=path)
+    with pytest.raises(ConfigurationError, match="root_seed"):
+        runner.run([None] * 5, root_seed=8, checkpoint=path, resume=True)
+    with pytest.raises(ConfigurationError, match="replicas"):
+        runner.run([None] * 6, root_seed=7, checkpoint=path, resume=True)
+    with pytest.raises(ConfigurationError, match="spec_digest"):
+        runner.run(["x"] * 5, root_seed=7, checkpoint=path, resume=True)
+
+
+def test_fresh_run_truncates_stale_ledger(tmp_path):
+    """Without resume=True an existing ledger is overwritten, never
+    silently mixed into the new campaign."""
+    path = tmp_path / "ledger.jsonl"
+    runner = ParallelCampaignRunner(draw_task, chunk_size=2)
+    runner.run([None] * 5, root_seed=7, checkpoint=path)
+    fresh = runner.run([None] * 3, root_seed=9, checkpoint=path)
+    assert fresh.metrics.replicas_resumed == 0
+    meta = read_header(path)
+    assert meta["root_seed"] == 9
+    assert meta["replicas"] == 3
+
+
+def test_header_validation(tmp_path):
+    empty = tmp_path / "empty.jsonl"
+    empty.write_text("", encoding="utf-8")
+    with pytest.raises(ConfigurationError, match="empty"):
+        load_ledger(empty)
+    garbage = tmp_path / "garbage.jsonl"
+    garbage.write_text("not json at all\n", encoding="utf-8")
+    with pytest.raises(ConfigurationError, match="header"):
+        load_ledger(garbage)
+    headless = tmp_path / "headless.jsonl"
+    headless.write_text('{"kind": "chunk"}\n', encoding="utf-8")
+    with pytest.raises(ConfigurationError, match="header"):
+        load_ledger(headless)
+    futuristic = tmp_path / "future.jsonl"
+    futuristic.write_text(
+        json.dumps({"kind": "header", "version": 99}) + "\n",
+        encoding="utf-8",
+    )
+    with pytest.raises(ConfigurationError, match="version"):
+        load_ledger(futuristic)
+    missing = tmp_path / "missing.jsonl"
+    with pytest.raises(ConfigurationError, match="cannot read"):
+        load_ledger(missing)
+
+
+def test_ledger_open_records_command_provenance(tmp_path):
+    path = tmp_path / "ledger.jsonl"
+    ledger, preloaded = CheckpointLedger.open(
+        path,
+        root_seed=3,
+        specs=[None] * 2,
+        chunk_size=1,
+        workers=1,
+        resume=False,
+        command="mc",
+        params={"seed": 3, "replicas": 2},
+    )
+    ledger.close(completed=0, failed=0)
+    assert preloaded == {}
+    meta = read_header(path)
+    assert meta["command"] == "mc"
+    assert meta["params"] == {"seed": 3, "replicas": 2}
+
+
+def test_stream_fingerprint_shape():
+    fp = stream_fingerprint(7, 3)
+    assert len(fp) == 32
+    int(fp, 16)  # hex
+    assert fp != stream_fingerprint(7, 4)
+    assert fp != stream_fingerprint(8, 3)
+    assert fp == stream_fingerprint(7, 3)
+
+
+# -- the acceptance case: full-campaign equivalence ------------------------
+
+
+def test_resumed_campaign_bit_identical_with_obs_digests(tmp_path):
+    """Interrupted-then-resumed ≡ uninterrupted ≡ workers=1, including
+    canonical obs trace digests, at workers=1 and workers=4."""
+    reference = run_random_campaigns(
+        6, root_seed=11, spec=OBS_SPEC, workers=1, chunk_size=2
+    )
+    reference_digest = _obs_digest(reference)
+    full = tmp_path / "full.jsonl"
+    checkpointed = run_random_campaigns(
+        6,
+        root_seed=11,
+        spec=OBS_SPEC,
+        workers=1,
+        chunk_size=2,
+        checkpoint=str(full),
+    )
+    # Checkpointing itself must not perturb the campaign.
+    assert checkpointed.value == reference.value
+    assert _obs_digest(checkpointed) == reference_digest
+    for workers in (1, 4):
+        trunc = tmp_path / f"trunc-w{workers}.jsonl"
+        kept = _truncate_to_first_chunk(full, trunc)
+        assert 0 < kept < 6
+        resumed = run_random_campaigns(
+            6,
+            root_seed=11,
+            spec=OBS_SPEC,
+            workers=workers,
+            chunk_size=2,
+            checkpoint=str(trunc),
+            resume=True,
+        )
+        # Bit-identical aggregate: full CampaignSummary equality covers
+        # plan digest, attribution tables and merged obs counters.
+        assert resumed.value == reference.value
+        assert _obs_digest(resumed) == reference_digest
+        assert resumed.metrics.replicas_resumed == kept
+        assert resumed.metrics.workers == workers

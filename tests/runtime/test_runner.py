@@ -93,10 +93,30 @@ def test_replica_streams_match_seeds_module():
     assert outcome.values() == expected
 
 
+def rejecting_reduce(values):
+    """A fold reducer that rejects empty campaigns (like summarize_campaign)."""
+    if not values:
+        raise ValueError("cannot reduce an empty campaign")
+    return sum(values)
+
+
 def test_empty_spec_list():
     outcome = ParallelCampaignRunner(square_task).run([], root_seed=0)
     assert outcome.value == ()
     assert outcome.metrics.replicas == 0
+    assert outcome.complete
+    assert outcome.completeness()["replicas_expected"] == 0
+
+
+def test_empty_run_never_calls_reduce():
+    """run([]) short-circuits instead of handing [] to fold reducers."""
+    outcome = ParallelCampaignRunner(square_task, rejecting_reduce).run([])
+    assert outcome.value == ()
+    assert outcome.results == ()
+    # A non-empty run still exercises the reducer.
+    assert ParallelCampaignRunner(square_task, rejecting_reduce).run(
+        [0, 0]
+    ).value == 0 + 1
 
 
 def test_validation():
@@ -159,10 +179,27 @@ def test_lost_replica_detected():
     """The runner refuses to reduce an incomplete result set."""
 
     class Hole(ParallelCampaignRunner):
-        def _run_pool(self, tasks, chunk_size):
-            results, retries = super()._run_pool(tasks, chunk_size)
+        def _run_pool(self, tasks, chunk_size, *args, **kwargs):
+            results, retries = super()._run_pool(
+                tasks, chunk_size, *args, **kwargs
+            )
             return results[:-1], retries
 
     runner = Hole(square_task, workers=2, chunk_size=1)
-    with pytest.raises(SimulationError):
+    with pytest.raises(SimulationError, match="lost replicas"):
+        runner.run([0] * 4, root_seed=0)
+
+
+def test_duplicated_replica_detected():
+    """Duplicate indices trip the guard too (not just missing ones)."""
+
+    class Double(ParallelCampaignRunner):
+        def _run_pool(self, tasks, chunk_size, *args, **kwargs):
+            results, retries = super()._run_pool(
+                tasks, chunk_size, *args, **kwargs
+            )
+            return results + results[:1], retries
+
+    runner = Double(square_task, workers=2, chunk_size=1)
+    with pytest.raises(SimulationError, match="lost replicas"):
         runner.run([0] * 4, root_seed=0)

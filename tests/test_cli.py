@@ -71,6 +71,64 @@ def test_mc_command_writes_metrics(capsys, tmp_path):
     assert record["workers"] == 1
 
 
+def test_mc_zero_replicas_is_a_friendly_noop(capsys):
+    """``mc --replicas 0`` reports the empty campaign instead of dying
+    in the reducer's empty-campaign check."""
+    assert main(["mc", "--replicas", "0"]) == 0
+    out = capsys.readouterr().out
+    assert "0 replicas" in out
+    assert "nothing to run" in out
+
+
+def _plan_digest_line(out: str) -> str:
+    lines = [line for line in out.splitlines() if "plan digest" in line]
+    assert lines, f"no plan digest in output:\n{out}"
+    return lines[-1]
+
+
+def test_mc_checkpoint_resume_roundtrip(capsys, tmp_path):
+    """Kill-and-resume at the CLI level: a resume from a truncated
+    ledger reproduces the uninterrupted run's aggregate line."""
+    ledger = tmp_path / "mc.jsonl"
+    args = [
+        "--seed",
+        "11",
+        "--checkpoint",
+        str(ledger),
+        "mc",
+        "--replicas",
+        "4",
+        "--horizon-ms",
+        "300",
+    ]
+    assert main(args) == 0
+    reference = _plan_digest_line(capsys.readouterr().out)
+
+    import json
+
+    lines = ledger.read_text(encoding="utf-8").splitlines()
+    kept = []
+    for line in lines:
+        record = json.loads(line)
+        kept.append(line)
+        if record["kind"] == "chunk":
+            break  # header + first completed chunk only
+    assert len(kept) == 2, "expected a chunk line to truncate after"
+    ledger.write_text("\n".join(kept) + "\n", encoding="utf-8")
+
+    assert main(["resume", str(ledger)]) == 0
+    out = capsys.readouterr().out
+    assert "resuming mc campaign" in out
+    assert "resumed:" in out
+    assert _plan_digest_line(out) == reference
+
+
+def test_resume_rejects_missing_ledger(capsys, tmp_path):
+    assert main(["resume", str(tmp_path / "nope.jsonl")]) == 1
+    err = capsys.readouterr().err
+    assert "nope.jsonl" in err
+
+
 def test_fleet_command(capsys):
     assert (
         main(

@@ -1,0 +1,158 @@
+"""Replica-batched backend — identity, amortization and scaling bench.
+
+Runs one multi-replica stochastic campaign three ways — scalar serial
+(the reference), batched serial, and batched over the spawn worker pool
+— asserts all three aggregates are bit-identical, and records the
+wall-clock trajectory in ``benchmarks/out/BENCH_batch.json``.
+
+At ``workers=1`` the batched backend is expected to track the scalar
+path closely: the per-replica simulation dominates and batching only
+amortizes the result fold and transport (one struct-of-arrays pack per
+chunk instead of one pickled object per replica).  The headline gain is
+the pooled configuration, where batching composes with process
+parallelism — that assertion is hardware-gated in its own test (like
+``bench_parallel``): on a host with ≥4 CPUs the batched pool must
+deliver ≥3x over scalar serial; smaller containers SKIP with an
+explicit reason.
+
+``_time_backends`` is imported by ``tests/perf/test_perf_gate.py`` for
+the committed-baseline regression gate (``batch_backend`` in
+``benchmarks/baselines.json``).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.analysis.reports import render_table
+from repro.faults.campaign import CampaignReplicaSpec
+from repro.runtime.workloads import run_random_campaigns
+from repro.units import ms
+
+from benchmarks._util import emit, once
+
+REPLICAS = int(
+    os.environ.get(
+        "REPRO_BENCH_BATCH_REPLICAS",
+        os.environ.get("REPRO_BENCH_REPLICAS", "160"),
+    )
+)
+ROOT_SEED = 4321
+WORKERS = 4
+SPEC = CampaignReplicaSpec(expected_faults=3.0, horizon_us=ms(300))
+
+#: One campaign triple per session — the speedup test reuses the
+#: identity test's measurement instead of re-running minutes of work.
+_CACHE: dict[str, tuple] = {}
+
+
+def run_all():
+    scalar = run_random_campaigns(
+        REPLICAS, root_seed=ROOT_SEED, spec=SPEC, workers=1
+    )
+    batched = run_random_campaigns(
+        REPLICAS, root_seed=ROOT_SEED, spec=SPEC, workers=1, backend="batched"
+    )
+    pooled = run_random_campaigns(
+        REPLICAS,
+        root_seed=ROOT_SEED,
+        spec=SPEC,
+        workers=WORKERS,
+        backend="batched",
+    )
+    _CACHE["runs"] = (scalar, batched, pooled)
+    return scalar, batched, pooled
+
+
+def _time_backends(replicas: int):
+    """Gate helper: (scalar, batched) serial outcomes for ``replicas``."""
+    scalar = run_random_campaigns(
+        replicas, root_seed=ROOT_SEED, spec=SPEC, workers=1
+    )
+    batched = run_random_campaigns(
+        replicas, root_seed=ROOT_SEED, spec=SPEC, workers=1, backend="batched"
+    )
+    return scalar, batched
+
+
+def _speedup(reference, candidate) -> float:
+    if candidate.metrics.wall_time_s <= 0:
+        return 0.0
+    return reference.metrics.wall_time_s / candidate.metrics.wall_time_s
+
+
+def test_batched_backend_identity_and_amortization(benchmark):
+    cpu_count = os.cpu_count() or 1
+    scalar, batched, pooled = once(benchmark, run_all)
+    assert batched.value == scalar.value, (
+        "batched aggregate diverged from scalar — identity contract broken"
+    )
+    assert pooled.value == scalar.value, (
+        "pooled batched aggregate diverged from scalar"
+    )
+    summary = scalar.value
+    rows = [
+        ["scalar", "scalar", 1],
+        ["batched", "batched", 1],
+        ["batched-pool", "batched", WORKERS],
+    ]
+    for row, outcome in zip(rows, (scalar, batched, pooled)):
+        row.extend(
+            [
+                f"{outcome.metrics.wall_time_s:.2f}",
+                f"{outcome.metrics.events_per_second:,.0f}",
+                f"{_speedup(scalar, outcome):.2f}x",
+            ]
+        )
+    table = render_table(
+        ["run", "backend", "workers", "wall [s]", "events/s", "vs scalar"],
+        rows,
+        title=(
+            f"Replica-batched backend: {REPLICAS} replicas, "
+            f"{summary.faults_injected} faults, identical aggregates, "
+            f"on {cpu_count} CPU(s)"
+        ),
+    )
+    emit(
+        "BENCH_batch",
+        table,
+        data={
+            "replicas": REPLICAS,
+            "root_seed": ROOT_SEED,
+            "cpu_count": cpu_count,
+            "identical_aggregates": True,
+            "plan_digest": summary.plan_digest,
+            "batched_speedup_serial": round(_speedup(scalar, batched), 3),
+            "batched_speedup_pooled": round(_speedup(scalar, pooled), 3),
+            "campaign_summary": summary.to_dict(),
+            "scalar": scalar.metrics.to_dict(),
+            "batched": batched.metrics.to_dict(),
+            "batched_pool": pooled.metrics.to_dict(),
+        },
+    )
+
+
+def test_batched_pool_speedup_on_multicore():
+    """Hardware-gated ≥3x check — an explicit SKIP on small hosts.
+
+    The batched pool must beat scalar serial by ≥3x on a ≥4-CPU host
+    (the multi-replica workload the backend was built for).  On a 1-CPU
+    container no wall-clock speedup is physically possible, so the test
+    SKIPs with the reason in the report instead of silently passing.
+    """
+    cpu_count = os.cpu_count() or 1
+    if cpu_count < WORKERS:
+        pytest.skip(
+            f"hardware-gated: needs >= {WORKERS} CPUs for the >=3x "
+            f"batched-pool speedup assertion, host has {cpu_count}"
+        )
+    if "runs" not in _CACHE:  # ran standalone (e.g. -k speedup)
+        run_all()
+    scalar, _batched, pooled = _CACHE["runs"]
+    speedup = _speedup(scalar, pooled)
+    assert speedup >= 3.0, (
+        f"expected >=3x batched-pool speedup on {cpu_count} CPUs, "
+        f"got {speedup:.2f}x"
+    )

@@ -40,8 +40,11 @@ Commands
 
 Campaign-style commands accept ``--workers N`` to fan replicas out over
 the spawn-safe process pool (bit-identical results to ``--workers 1``;
-see ``docs/parallel_runtime.md``) and ``--metrics-json PATH`` to write
-the structured run-metrics record.  ``--checkpoint PATH`` makes the run
+see ``docs/parallel_runtime.md``), ``--backend batched`` to execute
+each chunk through the replica-batched struct-of-arrays backend
+(bit-identical results to ``--backend scalar``; see
+``docs/performance.md``) and ``--metrics-json PATH`` to write the
+structured run-metrics record.  ``--checkpoint PATH`` makes the run
 durable (chunk-granular JSONL ledger, resumable with ``repro resume``);
 ``--salvage`` degrades gracefully on retry exhaustion — the partial
 aggregate is returned with an explicit completeness report instead of
@@ -159,6 +162,7 @@ def _checkpoint_kwargs(args: argparse.Namespace, command: str, params: dict):
             "params": {
                 "seed": args.seed,
                 "workers": args.workers,
+                "backend": args.backend,
                 "trace": args.trace,
                 "profile": args.profile,
                 "provenance": args.provenance,
@@ -169,6 +173,7 @@ def _checkpoint_kwargs(args: argparse.Namespace, command: str, params: dict):
         }
     return {
         "on_exhausted": "salvage" if args.salvage else "serial",
+        "backend": args.backend,
         "checkpoint": checkpoint,
         "resume": bool(getattr(args, "_resume", False)),
         "checkpoint_meta": meta,
@@ -558,6 +563,7 @@ def cmd_explain(args: argparse.Namespace) -> int:
 #: it is part of the ledger's campaign identity).
 _RESUME_OVERRIDABLE: dict[str, object] = {
     "workers": 1,
+    "backend": "scalar",
     "metrics_json": None,
     "trace": None,
     "profile": False,
@@ -631,6 +637,19 @@ _GLOBAL_OPTIONS: list[tuple[tuple[str, ...], dict]] = [
             "type": int,
             "default": 1,
             "help": "worker processes for campaign-style commands (default 1)",
+        },
+    ),
+    (
+        ("--backend",),
+        {
+            "choices": ["scalar", "batched"],
+            "default": "scalar",
+            "help": (
+                "execution backend for campaign-style commands: 'scalar' "
+                "runs one replica at a time, 'batched' amortizes one "
+                "struct-of-arrays pass over each chunk of replicas with "
+                "bit-identical results (docs/performance.md)"
+            ),
         },
     ),
     (

@@ -402,6 +402,7 @@ def run_campaign(
     workers: int = 1,
     chunk_size: int | None = None,
     on_exhausted: str = "serial",
+    backend: str = "scalar",
     checkpoint: str | None = None,
     resume: bool = False,
     checkpoint_meta: dict | None = None,
@@ -416,21 +417,27 @@ def run_campaign(
     ``runs`` is empty (full :class:`ScenarioRun` objects — live clusters
     and services — do not cross process boundaries).  Parallel execution
     requires every scenario to come from :data:`CATALOGUE`.
+
+    ``backend="batched"`` routes the grid through the runner's batched
+    chunk executor (catalogue cells carry no SoA encoding, so the
+    generic :class:`~repro.runtime.batch.SequentialBatchTask` pack is
+    used: one payload pickle per chunk, identical aggregates).
     """
     specs = [
         (scenario.name, seed) for seed in seeds for scenario in scenarios
     ]
-    if checkpoint is not None and workers <= 1:
+    if (checkpoint is not None or backend != "scalar") and workers <= 1:
         # The serial fast path below keeps live ScenarioRun objects and
-        # bypasses the runner; checkpointing requires the runner's
-        # chunked ledger, so route through it.
+        # bypasses the runner; checkpointing needs the runner's chunked
+        # ledger and a non-default backend needs its chunk executor, so
+        # route through it.
         workers = 1
         catalogue_names = {s.name for s in CATALOGUE}
         unknown = {name for name, _ in specs} - catalogue_names
         if unknown:
             raise AnalysisError(
-                "checkpointed campaigns only support catalogue scenarios; "
-                f"unknown: {sorted(unknown)!r}"
+                "checkpointed or batched campaigns only support catalogue "
+                f"scenarios; unknown: {sorted(unknown)!r}"
             )
         runner = ParallelCampaignRunner(
             run_catalogue_cell,
@@ -438,6 +445,7 @@ def run_campaign(
             workers=1,
             chunk_size=chunk_size,
             on_exhausted=on_exhausted,
+            backend=backend,
         )
         outcome = runner.run(
             specs,
@@ -472,6 +480,7 @@ def run_campaign(
             workers=workers,
             chunk_size=chunk_size,
             on_exhausted=on_exhausted,
+            backend=backend,
         )
         outcome = runner.run(
             specs,

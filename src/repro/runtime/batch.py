@@ -1,0 +1,498 @@
+"""Replica-batched struct-of-arrays execution backend.
+
+The scalar backend executes replicas one at a time and ships one pickled
+outcome object per replica back to the parent.  This module amortizes
+both halves over a batch of B replicas:
+
+* **Shared spec graph** — every replica instantiates its cluster from
+  the seed-independent frozen spec graph cached by
+  ``repro.presets._figure10_static``; the batch pays that construction
+  once per process, not once per replica.
+* **Vectorized fold** — the per-fault attribution scoring
+  (mechanism-count accumulation) is performed for the whole batch with
+  one ``np.add.at`` scatter into shared ``(B, n_mech)`` integer
+  matrices instead of B python dict folds, and the α-count/trust state
+  of every replica is exported as ``(B, n_fru)`` float matrices through
+  the banks' dense-vector APIs
+  (:meth:`~repro.core.alpha_count.AlphaCountBank.scores_vector`,
+  :meth:`~repro.core.trust.TrustBank.values_vector`).
+* **Packed transport** — the batch returns one
+  :class:`CampaignOutcomePack` whose numeric core is a handful of
+  preallocated numpy buffers: one pickle per batch crosses the process
+  boundary instead of B pickled ``CampaignReplicaOutcome`` objects.
+
+Identity contract
+-----------------
+The per-replica simulation itself is **not** run in lock-step across the
+batch — event times are seed-dependent, so a lock-step SoA simulation
+would change the discrete-event semantics.  Each replica runs through
+the exact same primitives as the scalar path
+(:func:`repro.runtime.workloads.replica_materials`); only the
+*post-simulation* fold and the transport encoding are batched.  Both
+folds accumulate integer counts over identical correctness flags, so
+``pack.unpack()`` reproduces the scalar backend's per-replica outcomes
+bit-for-bit — no float reassociation, no aggregate-identity fallback is
+needed for this workload.  The cross-backend differential battery
+(``tests/integration/test_backend_differential.py``) and the 46-golden
+equivalence battery enforce the contract; ``--backend scalar`` remains
+the reference opt-out (see ``docs/performance.md``).
+
+Batch-task protocol
+-------------------
+A batch task is a spawn-picklable callable
+``batch_task(tasks, worker_label, capture_errors) -> pack`` where
+``pack.unpack()`` yields the same ``list[ReplicaResult |
+ReplicaFailure]`` the scalar ``_execute_chunk`` would have produced.
+Packs are unpacked in the parent before any ledger append or reduce, so
+checkpointing, resume, retry and metrics accounting compose unchanged —
+a chunk is a batch.  :func:`run_campaign_batch` is the SoA executor for
+the stochastic-campaign workload; :class:`SequentialBatchTask` adapts
+any scalar task (fleet vehicles, catalogue cells) to the protocol with
+a plain object pack.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import traceback as _traceback
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.faults.campaign import CampaignReplicaOutcome
+from repro.runtime.runner import (
+    BACKENDS,
+    ReplicaFailure,
+    ReplicaResult,
+    ReplicaTask,
+    _execute_chunk,
+)
+
+__all__ = [
+    "BACKENDS",
+    "CampaignOutcomePack",
+    "ObjectPack",
+    "SequentialBatchTask",
+    "run_campaign_batch",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class ObjectPack:
+    """Degenerate pack: per-replica objects carried as a plain tuple.
+
+    Used by :class:`SequentialBatchTask` for workloads whose outcome
+    types have no struct-of-arrays encoding.  It satisfies the pack
+    protocol (``unpack``) without changing the pickled payload shape,
+    so the runner's batched plumbing is exercised end to end even for
+    generic tasks.
+    """
+
+    entries: tuple[ReplicaResult | ReplicaFailure, ...]
+
+    def unpack(self) -> list[ReplicaResult | ReplicaFailure]:
+        return list(self.entries)
+
+
+@dataclass(frozen=True, slots=True)
+class SequentialBatchTask:
+    """Adapt a scalar replica task to the batch-task protocol.
+
+    ``task`` must be a module-level callable (spawn pickles the wrapper
+    by value but the task by reference).  Execution semantics are
+    exactly the scalar chunk executor's — same worker labels, same
+    error capture — wrapped in an :class:`ObjectPack`.
+    """
+
+    task: Callable[[ReplicaTask], Any]
+
+    def __call__(
+        self,
+        tasks: list[ReplicaTask],
+        worker_label: str | None = None,
+        capture_errors: bool = False,
+    ) -> ObjectPack:
+        return ObjectPack(
+            tuple(_execute_chunk(self.task, tasks, worker_label, capture_errors))
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class CampaignOutcomePack:
+    """Struct-of-arrays encoding of a batch of campaign replica results.
+
+    The numeric core lives in shared numpy buffers indexed by the batch
+    row; strings are interned once per batch (mechanism vocabulary,
+    injection-target table, worker labels).  Observability sidecars
+    (counter snapshots, trace records) are irregular dicts and ride
+    along as object tuples — they exist only when the spec enabled
+    observability, so the common fast path ships numbers only.
+
+    ``unpack`` is the exact inverse of the packing performed by
+    :func:`run_campaign_batch` / :meth:`from_results`: it reproduces
+    each replica's :class:`ReplicaResult` (outcome value, event count,
+    elapsed time, worker label) bit-for-bit, plus any
+    :class:`ReplicaFailure` records, in replica-index order.
+
+    ``alpha_scores``/``trust_values`` are the diagnostic state of every
+    replica as ``(B, n_fru)`` matrices over ``state_frus`` (absent FRUs
+    read the banks' fresh-state defaults: score 0.0, trust 1.0).  They
+    are analysis payload — deliberately not part of the outcome
+    round-trip, which only covers what the scalar backend produces.
+    """
+
+    indices: np.ndarray  # (B,) int64 replica indices
+    mechanisms: tuple[str, ...]  # lexicographically sorted vocabulary
+    targets: tuple[str, ...]  # injection-target string table
+    event_offsets: np.ndarray  # (B+1,) int64 CSR offsets into event_*
+    event_mechanism: np.ndarray  # (E,) int64 -> mechanisms
+    event_target: np.ndarray  # (E,) int64 -> targets
+    event_at_us: np.ndarray  # (E,) int64 activation times
+    injected: np.ndarray  # (B, n_mech) int64 injected counts
+    attributed: np.ndarray  # (B, n_mech) int64 attributed counts
+    verdicts: np.ndarray  # (B,) int64
+    events_simulated: np.ndarray  # (B,) int64
+    elapsed_s: np.ndarray  # (B,) float64 per-replica compute time
+    workers: tuple[str, ...]  # (B,) worker labels
+    obs_counters: tuple[dict | None, ...] | None = None
+    obs_traces: tuple[tuple[dict, ...], ...] | None = None
+    state_frus: tuple[str, ...] = ()
+    alpha_scores: np.ndarray | None = None  # (B, n_fru) float64
+    trust_values: np.ndarray | None = None  # (B, n_fru) float64
+    failures: tuple[ReplicaFailure, ...] = ()
+
+    @property
+    def batch_size(self) -> int:
+        return int(self.indices.shape[0])
+
+    def unpack(self) -> list[ReplicaResult | ReplicaFailure]:
+        """Materialize the scalar-equivalent per-replica results."""
+        mechanisms = self.mechanisms
+        targets = self.targets
+        offsets = self.event_offsets
+        out: list[ReplicaResult | ReplicaFailure] = []
+        for row in range(self.batch_size):
+            lo, hi = int(offsets[row]), int(offsets[row + 1])
+            plan_events = tuple(
+                (
+                    mechanisms[int(self.event_mechanism[k])],
+                    targets[int(self.event_target[k])],
+                    int(self.event_at_us[k]),
+                )
+                for k in range(lo, hi)
+            )
+            injected = tuple(
+                (mechanisms[j], int(count))
+                for j, count in enumerate(self.injected[row])
+                if count
+            )
+            attributed = tuple(
+                (mechanisms[j], int(count))
+                for j, count in enumerate(self.attributed[row])
+                if count
+            )
+            value = CampaignReplicaOutcome(
+                index=int(self.indices[row]),
+                plan_events=plan_events,
+                injected_by_mechanism=injected,
+                attributed_by_mechanism=attributed,
+                faults_injected=hi - lo,
+                faults_attributed=int(self.attributed[row].sum()),
+                verdicts_emitted=int(self.verdicts[row]),
+                events_simulated=int(self.events_simulated[row]),
+                obs_counters=(
+                    self.obs_counters[row]
+                    if self.obs_counters is not None
+                    else None
+                ),
+                obs_trace=(
+                    self.obs_traces[row] if self.obs_traces is not None else ()
+                ),
+            )
+            out.append(
+                ReplicaResult(
+                    index=value.index,
+                    value=value,
+                    events=value.events_simulated,
+                    elapsed_s=float(self.elapsed_s[row]),
+                    worker=self.workers[row],
+                )
+            )
+        out.extend(self.failures)
+        # Chunks arrive index-sorted, so index order restores the task
+        # order the scalar executor would have reported.
+        out.sort(key=lambda r: r.index)
+        return out
+
+    @classmethod
+    def from_results(
+        cls, results: Sequence[ReplicaResult | ReplicaFailure]
+    ) -> "CampaignOutcomePack":
+        """Pack already-materialized campaign results (exact inverse of
+        :meth:`unpack`).
+
+        Every :class:`ReplicaResult` value must be a
+        :class:`CampaignReplicaOutcome` whose redundant totals are
+        consistent (``faults_injected == len(plan_events)``,
+        ``faults_attributed == sum(attributed_by_mechanism)``) — the SoA
+        encoding stores each fact once, so an inconsistent outcome
+        cannot round-trip and is rejected eagerly.
+        """
+        failures = tuple(
+            r for r in results if isinstance(r, ReplicaFailure)
+        )
+        oks = [r for r in results if isinstance(r, ReplicaResult)]
+        rows: list[_PackRow] = []
+        for r in oks:
+            o = r.value
+            if not isinstance(o, CampaignReplicaOutcome):
+                raise TypeError(
+                    "CampaignOutcomePack packs CampaignReplicaOutcome "
+                    f"values, got {type(o).__name__} (use ObjectPack for "
+                    "generic payloads)"
+                )
+            if o.faults_injected != len(o.plan_events):
+                raise ValueError(
+                    f"replica {o.index}: faults_injected="
+                    f"{o.faults_injected} != {len(o.plan_events)} plan "
+                    "events — outcome cannot round-trip through the pack"
+                )
+            if o.faults_attributed != sum(
+                count for _, count in o.attributed_by_mechanism
+            ):
+                raise ValueError(
+                    f"replica {o.index}: faults_attributed="
+                    f"{o.faults_attributed} disagrees with "
+                    "attributed_by_mechanism — outcome cannot round-trip "
+                    "through the pack"
+                )
+            rows.append(
+                _PackRow(
+                    index=o.index,
+                    plan_events=o.plan_events,
+                    injected_items=o.injected_by_mechanism,
+                    attributed_items=o.attributed_by_mechanism,
+                    verdicts=o.verdicts_emitted,
+                    events_simulated=o.events_simulated,
+                    obs_counters=o.obs_counters,
+                    obs_trace=o.obs_trace,
+                    elapsed_s=r.elapsed_s,
+                    worker=r.worker,
+                )
+            )
+        return _build_pack(rows, failures)
+
+
+@dataclass(slots=True)
+class _PackRow:
+    """One replica's columns on their way into the SoA buffers."""
+
+    index: int
+    plan_events: tuple[tuple[str, str, int], ...]
+    injected_items: tuple[tuple[str, int], ...]
+    attributed_items: tuple[tuple[str, int], ...]
+    verdicts: int
+    events_simulated: int
+    obs_counters: dict | None
+    obs_trace: tuple[dict, ...]
+    elapsed_s: float
+    worker: str
+    alpha: tuple[tuple[str, ...], np.ndarray] | None = None
+    trust: tuple[tuple[str, ...], np.ndarray] | None = None
+
+
+def _build_pack(
+    rows: list[_PackRow], failures: tuple[ReplicaFailure, ...]
+) -> CampaignOutcomePack:
+    """Fill the preallocated SoA buffers from per-replica columns."""
+    batch = len(rows)
+    mechanisms = tuple(
+        sorted(
+            {m for row in rows for m, _, _ in row.plan_events}
+            | {m for row in rows for m, _ in row.injected_items}
+        )
+    )
+    mech_col = {m: j for j, m in enumerate(mechanisms)}
+    targets = tuple(
+        sorted({t for row in rows for _, t, _ in row.plan_events})
+    )
+    target_col = {t: j for j, t in enumerate(targets)}
+
+    total_events = sum(len(row.plan_events) for row in rows)
+    event_offsets = np.zeros(batch + 1, dtype=np.int64)
+    event_mechanism = np.empty(total_events, dtype=np.int64)
+    event_target = np.empty(total_events, dtype=np.int64)
+    event_at_us = np.empty(total_events, dtype=np.int64)
+    injected = np.zeros((batch, len(mechanisms)), dtype=np.int64)
+    attributed = np.zeros((batch, len(mechanisms)), dtype=np.int64)
+    verdicts = np.empty(batch, dtype=np.int64)
+    events_simulated = np.empty(batch, dtype=np.int64)
+    elapsed_s = np.empty(batch, dtype=np.float64)
+
+    cursor = 0
+    for row_i, row in enumerate(rows):
+        for mechanism, target, at_us in row.plan_events:
+            event_mechanism[cursor] = mech_col[mechanism]
+            event_target[cursor] = target_col[target]
+            event_at_us[cursor] = at_us
+            cursor += 1
+        event_offsets[row_i + 1] = cursor
+        for mechanism, count in row.injected_items:
+            injected[row_i, mech_col[mechanism]] = count
+        for mechanism, count in row.attributed_items:
+            attributed[row_i, mech_col[mechanism]] = count
+        verdicts[row_i] = row.verdicts
+        events_simulated[row_i] = row.events_simulated
+        elapsed_s[row_i] = row.elapsed_s
+
+    any_obs = any(
+        row.obs_counters is not None or row.obs_trace for row in rows
+    )
+    obs_counters = (
+        tuple(row.obs_counters for row in rows) if any_obs else None
+    )
+    obs_traces = tuple(row.obs_trace for row in rows) if any_obs else None
+
+    state_frus: tuple[str, ...] = ()
+    alpha_scores = trust_values = None
+    if any(row.alpha is not None for row in rows):
+        state_frus = tuple(
+            sorted(
+                {f for row in rows if row.alpha for f in row.alpha[0]}
+                | {f for row in rows if row.trust for f in row.trust[0]}
+            )
+        )
+        fru_col = {f: j for j, f in enumerate(state_frus)}
+        alpha_scores = np.zeros((batch, len(state_frus)), dtype=np.float64)
+        trust_values = np.ones((batch, len(state_frus)), dtype=np.float64)
+        for row_i, row in enumerate(rows):
+            if row.alpha is not None:
+                frus, vec = row.alpha
+                cols = [fru_col[f] for f in frus]
+                alpha_scores[row_i, cols] = vec
+            if row.trust is not None:
+                frus, vec = row.trust
+                cols = [fru_col[f] for f in frus]
+                trust_values[row_i, cols] = vec
+
+    return CampaignOutcomePack(
+        indices=np.asarray([row.index for row in rows], dtype=np.int64),
+        mechanisms=mechanisms,
+        targets=targets,
+        event_offsets=event_offsets,
+        event_mechanism=event_mechanism,
+        event_target=event_target,
+        event_at_us=event_at_us,
+        injected=injected,
+        attributed=attributed,
+        verdicts=verdicts,
+        events_simulated=events_simulated,
+        elapsed_s=elapsed_s,
+        workers=tuple(row.worker for row in rows),
+        obs_counters=obs_counters,
+        obs_traces=obs_traces,
+        state_frus=state_frus,
+        alpha_scores=alpha_scores,
+        trust_values=trust_values,
+        failures=failures,
+    )
+
+
+def run_campaign_batch(
+    tasks: list[ReplicaTask],
+    worker_label: str | None = None,
+    capture_errors: bool = False,
+) -> CampaignOutcomePack:
+    """Execute one batch of campaign replicas through the SoA backend.
+
+    Simulates each replica with the scalar path's exact primitives
+    (:func:`repro.runtime.workloads.replica_materials`), then performs
+    the attribution fold for the whole batch with one vectorized
+    scatter into the shared ``(B, n_mech)`` matrices and packs
+    everything into a single :class:`CampaignOutcomePack`.  Top-level so
+    spawn can pickle it by reference; drop-in for the runner's
+    batch-task slot.
+
+    With ``capture_errors`` a raising replica becomes a
+    :class:`ReplicaFailure` carried on the pack, mirroring the scalar
+    executor's chunk-sibling isolation.
+    """
+    # Deferred import: workloads imports this module to wire the backend
+    # into run_random_campaigns.
+    from repro.runtime.workloads import replica_materials
+
+    worker = worker_label if worker_label is not None else f"pid-{os.getpid()}"
+    failures: list[ReplicaFailure] = []
+    materials = []
+    for replica in tasks:
+        t0 = time.perf_counter()
+        try:
+            m = replica_materials(replica)
+        except Exception as exc:  # noqa: BLE001 - converted to data
+            if not capture_errors:
+                raise
+            failures.append(
+                ReplicaFailure(
+                    index=replica.index,
+                    error_type=type(exc).__name__,
+                    message=str(exc),
+                    traceback=_traceback.format_exc(),
+                    attempts=1,
+                    worker=worker,
+                )
+            )
+            continue
+        materials.append((m, time.perf_counter() - t0))
+
+    mechanisms = tuple(
+        sorted({m for mat, _ in materials for m, _, _ in mat.plan_events})
+    )
+    mech_col = {m: j for j, m in enumerate(mechanisms)}
+    injected = np.zeros((len(materials), len(mechanisms)), dtype=np.int64)
+    attributed = np.zeros_like(injected)
+    # One scatter for the whole batch: (row, mechanism) pairs of every
+    # event, masked by the correctness flags for the attributed matrix.
+    batch_rows: list[int] = []
+    mech_ids: list[int] = []
+    correct: list[bool] = []
+    for row_i, (mat, _) in enumerate(materials):
+        for (mechanism, _target, _at), ok in zip(mat.plan_events, mat.correct):
+            batch_rows.append(row_i)
+            mech_ids.append(mech_col[mechanism])
+            correct.append(ok)
+    if batch_rows:
+        rows_a = np.asarray(batch_rows, dtype=np.int64)
+        mech_a = np.asarray(mech_ids, dtype=np.int64)
+        ok_a = np.asarray(correct, dtype=bool)
+        np.add.at(injected, (rows_a, mech_a), 1)
+        np.add.at(attributed, (rows_a[ok_a], mech_a[ok_a]), 1)
+
+    rows = [
+        _PackRow(
+            index=mat.index,
+            plan_events=mat.plan_events,
+            injected_items=tuple(
+                (mechanisms[j], int(count))
+                for j, count in enumerate(injected[row_i])
+                if count
+            ),
+            attributed_items=tuple(
+                (mechanisms[j], int(count))
+                for j, count in enumerate(attributed[row_i])
+                if count
+            ),
+            verdicts=mat.verdicts_emitted,
+            events_simulated=mat.events_simulated,
+            obs_counters=mat.obs_counters,
+            obs_trace=mat.obs_trace,
+            elapsed_s=elapsed,
+            worker=worker,
+            alpha=(mat.alpha_frus, mat.alpha_scores),
+            trust=(mat.trust_frus, mat.trust_values),
+        )
+        for row_i, (mat, elapsed) in enumerate(materials)
+    ]
+    return _build_pack(rows, tuple(failures))

@@ -50,6 +50,9 @@ class RunMetrics:
         Replicas loaded from a checkpoint ledger instead of executed;
         their compute happened in a previous process, so they are
         excluded from ``events_simulated`` and busy-time accounting.
+    backend:
+        Execution backend that produced the run (``"scalar"`` or
+        ``"batched"``; see :mod:`repro.runtime.batch`).
     worker_busy_s:
         Cumulative in-replica compute time attributed to each worker
         (keyed by worker label, e.g. ``"pid-1234"`` or ``"serial"``).
@@ -70,6 +73,7 @@ class RunMetrics:
     leaked_worker_pids: tuple[int, ...] = ()
     replicas_failed: int = 0
     replicas_resumed: int = 0
+    backend: str = "scalar"
 
     def to_dict(self) -> dict[str, Any]:
         """Plain-dict form (JSON-safe scalars only)."""
@@ -91,6 +95,7 @@ class RunMetrics:
             "leaked_worker_pids": list(self.leaked_worker_pids),
             "replicas_failed": self.replicas_failed,
             "replicas_resumed": self.replicas_resumed,
+            "backend": self.backend,
         }
 
     def to_json(self, *, indent: int = 2) -> str:
@@ -117,6 +122,7 @@ class RunMetrics:
         leaked_worker_pids: tuple[int, ...] = (),
         replicas_failed: int = 0,
         replicas_resumed: int = 0,
+        backend: str = "scalar",
     ) -> "RunMetrics":
         """Assemble the record from per-replica accounting."""
         total_events = int(sum(events))
@@ -136,4 +142,5 @@ class RunMetrics:
             leaked_worker_pids=tuple(leaked_worker_pids),
             replicas_failed=replicas_failed,
             replicas_resumed=replicas_resumed,
+            backend=backend,
         )

@@ -82,6 +82,11 @@ FALLBACK_WORKER = "serial-fallback"
 #: Retry-exhaustion policies (see class docstring).
 EXHAUSTION_POLICIES = ("serial", "salvage")
 
+#: Execution backends: ``"scalar"`` runs one replica at a time through
+#: the task callable; ``"batched"`` hands whole chunks to a batch task
+#: that returns a single pack per chunk (see :mod:`repro.runtime.batch`).
+BACKENDS = ("scalar", "batched")
+
 
 @dataclass(frozen=True, slots=True)
 class ReplicaTask:
@@ -221,6 +226,24 @@ def _execute_chunk(
     return out
 
 
+def _execute_packed_chunk(
+    batch_task,
+    tasks: list[ReplicaTask],
+    worker_label: str | None = None,
+    capture_errors: bool = False,
+):
+    """Run one chunk through a batch task; returns the task's pack.
+
+    The pack crosses the process boundary as a single pickle and is
+    unpacked in the parent (``pack.unpack()`` yields the same
+    ``list[ReplicaResult | ReplicaFailure]`` the scalar executor would
+    have produced), so ledger appends, retries and the reduce all
+    operate on identical shapes regardless of backend.  Top-level so
+    spawn can pickle it by reference.
+    """
+    return batch_task(tasks, worker_label, capture_errors)
+
+
 class ParallelCampaignRunner:
     """Deterministic map/reduce over independent simulation replicas.
 
@@ -261,6 +284,23 @@ class ParallelCampaignRunner:
         process; ``"salvage"`` returns a partial :class:`RunOutcome`
         carrying :class:`ReplicaFailure` records and a completeness
         report.
+    backend:
+        ``"scalar"`` (default) executes replicas one at a time through
+        ``task``.  ``"batched"`` hands each chunk (chunk = batch) to the
+        batch task, which returns one pack per chunk; the pack is
+        unpacked in the parent before ledger appends and the reduce, so
+        checkpoint/resume, retry and metrics semantics are unchanged —
+        including mid-batch resume, because already-completed replicas
+        are filtered out of a chunk *before* the batch task sees it.
+        The retry-exhaustion serial fallback always runs the scalar
+        task: after ``max_retries`` failed batches the reference path is
+        the diagnostic tool of choice.
+    batch_task:
+        Spawn-picklable ``batch_task(tasks, worker_label,
+        capture_errors) -> pack`` with ``pack.unpack() ->
+        list[ReplicaResult | ReplicaFailure]``.  Only meaningful with
+        ``backend="batched"``; defaults to wrapping ``task`` in
+        :class:`repro.runtime.batch.SequentialBatchTask`.
     """
 
     def __init__(
@@ -274,6 +314,8 @@ class ParallelCampaignRunner:
         retry_backoff_s: float = 0.05,
         shutdown_timeout_s: float = 5.0,
         on_exhausted: str = "serial",
+        backend: str = "scalar",
+        batch_task: Callable[..., Any] | None = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -296,6 +338,21 @@ class ParallelCampaignRunner:
                 f"on_exhausted must be one of {EXHAUSTION_POLICIES}, "
                 f"got {on_exhausted!r}"
             )
+        if backend not in BACKENDS:
+            raise ValueError(
+                f"backend must be one of {BACKENDS}, got {backend!r}"
+            )
+        if batch_task is not None and backend != "batched":
+            raise ValueError(
+                "batch_task requires backend='batched' "
+                f"(got backend={backend!r})"
+            )
+        if backend == "batched" and batch_task is None:
+            from repro.runtime.batch import SequentialBatchTask
+
+            batch_task = SequentialBatchTask(task)
+        self.backend = backend
+        self.batch_task = batch_task
         self.task = task
         self.reduce = reduce
         self.workers = workers
@@ -350,6 +407,7 @@ class ParallelCampaignRunner:
                     retries=0,
                     events=[],
                     busy_by_worker={},
+                    backend=self.backend,
                 ),
             )
 
@@ -415,6 +473,7 @@ class ParallelCampaignRunner:
             leaked_worker_pids=tuple(sorted(leaked)),
             replicas_failed=len(failures),
             replicas_resumed=len(preloaded),
+            backend=self.backend,
         )
         values = [r.value for r in results]
         if not values:
@@ -470,15 +529,22 @@ class ParallelCampaignRunner:
         results: list[ReplicaResult] = list(preloaded.values())
         capture = self.on_exhausted == "salvage"
         for chunk in self._chunked(tasks, chunk_size):
+            # Drop already-completed replicas before the executor sees
+            # the chunk — for the batched backend this is what makes a
+            # mid-batch resume safe: the batch task only ever receives
+            # the replicas that still need to run.
             todo = [t for t in chunk if t.index not in preloaded]
             if not todo:
                 continue
-            out = _execute_chunk(
-                self.task,
-                todo,
-                worker_label=SERIAL_WORKER,
-                capture_errors=capture,
-            )
+            if self.backend == "batched":
+                out = self.batch_task(todo, SERIAL_WORKER, capture).unpack()
+            else:
+                out = _execute_chunk(
+                    self.task,
+                    todo,
+                    worker_label=SERIAL_WORKER,
+                    capture_errors=capture,
+                )
             fresh = [r for r in out if isinstance(r, ReplicaResult)]
             for r in out:
                 if isinstance(r, ReplicaFailure):
@@ -518,12 +584,24 @@ class ParallelCampaignRunner:
                 max_workers=min(self.workers, len(pending)), mp_context=ctx
             )
             try:
-                futures = {
-                    executor.submit(
-                        _execute_chunk, self.task, chunk, None, True
-                    ): cid
-                    for cid, chunk in pending.items()
-                }
+                if self.backend == "batched":
+                    futures = {
+                        executor.submit(
+                            _execute_packed_chunk,
+                            self.batch_task,
+                            chunk,
+                            None,
+                            True,
+                        ): cid
+                        for cid, chunk in pending.items()
+                    }
+                else:
+                    futures = {
+                        executor.submit(
+                            _execute_chunk, self.task, chunk, None, True
+                        ): cid
+                        for cid, chunk in pending.items()
+                    }
                 not_done = set(futures)
                 while not_done:
                     done, not_done = wait(
@@ -543,6 +621,12 @@ class ParallelCampaignRunner:
                             # resubmission bug that tripped the lost-
                             # replicas guard).
                             continue
+                        if self.backend == "batched":
+                            # One pack per chunk crossed the boundary;
+                            # materialize the per-replica results here so
+                            # dedup, ledger appends and the reduce see
+                            # the exact scalar shapes.
+                            chunk_results = chunk_results.unpack()
                         # Pop before recording, and dedupe by replica
                         # index, so no interleaving of crash and
                         # completion can double-count a replica.

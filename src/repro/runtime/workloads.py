@@ -15,6 +15,10 @@ CLI, the equivalence tests and the scaling benchmarks.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
+import numpy as np
+
 from repro import obs as obs_api
 from repro.analysis.scenarios import predicted_class_for
 from repro.core.maintenance import determine_action
@@ -31,8 +35,39 @@ from repro.presets import figure10_cluster
 from repro.runtime.runner import ParallelCampaignRunner, ReplicaTask, RunOutcome
 
 
-def run_campaign_replica(replica: ReplicaTask) -> CampaignReplicaOutcome:
-    """One Monte-Carlo campaign replica on a fresh Fig. 10 cluster.
+@dataclass(slots=True)
+class ReplicaMaterials:
+    """Raw products of one simulated campaign replica, pre-fold.
+
+    Everything :func:`run_campaign_replica` needs to assemble its
+    :class:`CampaignReplicaOutcome` except the mechanism-count fold
+    itself: the scalar task folds ``plan_events``/``correct`` into
+    per-mechanism dicts one replica at a time, while the batched backend
+    (:mod:`repro.runtime.batch`) scatters the same flags into shared
+    ``(B, n_mech)`` matrices with one vectorized pass — both folds are
+    integer counts over identical flags, so they agree bit-for-bit.
+
+    ``alpha_frus``/``alpha_scores`` and ``trust_frus``/``trust_values``
+    are the banks' struct-of-arrays exports (dense vectors over the
+    replica's own sorted FRU order) captured before the cluster is torn
+    down; the batch backend reindexes them into batch-wide matrices.
+    """
+
+    index: int
+    plan_events: tuple[tuple[str, str, int], ...]
+    correct: tuple[bool, ...]
+    verdicts_emitted: int
+    events_simulated: int
+    obs_counters: dict | None
+    obs_trace: tuple[dict, ...]
+    alpha_frus: tuple[str, ...]
+    alpha_scores: np.ndarray
+    trust_frus: tuple[str, ...]
+    trust_values: np.ndarray
+
+
+def replica_materials(replica: ReplicaTask) -> ReplicaMaterials:
+    """Simulate one campaign replica; return its raw materials.
 
     The cluster's internal named streams are seeded from the replica's
     state seed and the campaign sampling from the replica's generator —
@@ -104,30 +139,59 @@ def run_campaign_replica(replica: ReplicaTask) -> CampaignReplicaOutcome:
             for record in obs.trace_dicts()
         )
 
-    injected: dict[str, int] = {}
-    attributed: dict[str, int] = {}
-    correct = 0
-    for (mechanism, _target, _at), descriptor in zip(
-        plan.events, plan.descriptors
-    ):
-        injected[mechanism] = injected.get(mechanism, 0) + 1
-        predicted = predicted_class_for(
-            descriptor, verdicts, cluster.job_location
-        )
-        if predicted is descriptor.fault_class:
-            attributed[mechanism] = attributed.get(mechanism, 0) + 1
-            correct += 1
-    return CampaignReplicaOutcome(
+    correct = tuple(
+        predicted_class_for(descriptor, verdicts, cluster.job_location)
+        is descriptor.fault_class
+        for descriptor in plan.descriptors
+    )
+    alpha_bank = service.assessment.classifier.alpha
+    trust_bank = service.assessment.trust
+    alpha_frus = tuple(sorted(alpha_bank.scores()))
+    trust_frus = tuple(sorted(trust_bank.values()))
+    return ReplicaMaterials(
         index=replica.index,
         plan_events=plan.events,
-        injected_by_mechanism=tuple(sorted(injected.items())),
-        attributed_by_mechanism=tuple(sorted(attributed.items())),
-        faults_injected=len(plan.events),
-        faults_attributed=correct,
+        correct=correct,
         verdicts_emitted=len(verdicts),
         events_simulated=cluster.sim.events_processed,
         obs_counters=obs_counters,
         obs_trace=obs_trace,
+        alpha_frus=alpha_frus,
+        alpha_scores=alpha_bank.scores_vector(alpha_frus),
+        trust_frus=trust_frus,
+        trust_values=trust_bank.values_vector(trust_frus),
+    )
+
+
+def run_campaign_replica(replica: ReplicaTask) -> CampaignReplicaOutcome:
+    """One Monte-Carlo campaign replica on a fresh Fig. 10 cluster.
+
+    The scalar reference fold: per-replica dict accumulation over the
+    materials' correctness flags.  The batched backend reuses the exact
+    same :func:`replica_materials` and differs only in folding the flags
+    of a whole batch with one vectorized scatter, so per-replica
+    outcomes are bit-identical across backends.
+    """
+    m = replica_materials(replica)
+    injected: dict[str, int] = {}
+    attributed: dict[str, int] = {}
+    hits = 0
+    for (mechanism, _target, _at), ok in zip(m.plan_events, m.correct):
+        injected[mechanism] = injected.get(mechanism, 0) + 1
+        if ok:
+            attributed[mechanism] = attributed.get(mechanism, 0) + 1
+            hits += 1
+    return CampaignReplicaOutcome(
+        index=m.index,
+        plan_events=m.plan_events,
+        injected_by_mechanism=tuple(sorted(injected.items())),
+        attributed_by_mechanism=tuple(sorted(attributed.items())),
+        faults_injected=len(m.plan_events),
+        faults_attributed=hits,
+        verdicts_emitted=m.verdicts_emitted,
+        events_simulated=m.events_simulated,
+        obs_counters=m.obs_counters,
+        obs_trace=m.obs_trace,
     )
 
 
@@ -144,6 +208,7 @@ def run_random_campaigns(
     chunk_size: int | None = None,
     max_retries: int = 2,
     on_exhausted: str = "serial",
+    backend: str = "scalar",
     checkpoint: str | None = None,
     resume: bool = False,
     checkpoint_meta: dict | None = None,
@@ -156,9 +221,22 @@ def run_random_campaigns(
     an interrupted run resumed from its ``checkpoint`` ledger.
     ``replicas=0`` yields the runner's explicit empty outcome (value
     ``()``) instead of tripping the summary's empty-campaign check.
+
+    ``backend="batched"`` executes each chunk through the replica-batched
+    struct-of-arrays executor (:func:`repro.runtime.batch
+    .run_campaign_batch`): one shared pack per chunk instead of one
+    pickled outcome per replica, with the attribution fold vectorized
+    over the batch.  Per-replica outcomes and the reduced summary are
+    bit-identical to the scalar backend (enforced by
+    ``tests/integration/test_backend_differential.py``).
     """
     if replicas < 0:
         raise ValueError(f"replicas must be >= 0, got {replicas}")
+    batch_task = None
+    if backend == "batched":
+        from repro.runtime.batch import run_campaign_batch
+
+        batch_task = run_campaign_batch
     runner = ParallelCampaignRunner(
         run_campaign_replica,
         _reduce_campaign,
@@ -166,6 +244,8 @@ def run_random_campaigns(
         chunk_size=chunk_size,
         max_retries=max_retries,
         on_exhausted=on_exhausted,
+        backend=backend,
+        batch_task=batch_task,
     )
     spec = spec if spec is not None else CampaignReplicaSpec()
     return runner.run(

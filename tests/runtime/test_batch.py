@@ -1,0 +1,284 @@
+"""The replica-batched SoA backend: pack round-trip and executor identity.
+
+The pack is a lossless struct-of-arrays encoding of campaign replica
+results — property tests drive random outcome batches through
+``CampaignOutcomePack.from_results``/``unpack`` and require exact
+round-trips.  The executor tests pin :func:`run_campaign_batch` against
+the scalar chunk executor on real campaign replicas (the full-campaign
+differential battery lives in
+``tests/integration/test_backend_differential.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.alpha_count import AlphaCountBank
+from repro.core.trust import TrustBank
+from repro.faults.campaign import CampaignReplicaOutcome, CampaignReplicaSpec
+from repro.runtime.batch import (
+    CampaignOutcomePack,
+    ObjectPack,
+    SequentialBatchTask,
+    run_campaign_batch,
+)
+from repro.runtime.runner import (
+    ReplicaFailure,
+    ReplicaResult,
+    ReplicaTask,
+    _execute_chunk,
+)
+from repro.runtime.workloads import run_campaign_replica
+from repro.units import ms
+
+SPEC = CampaignReplicaSpec(expected_faults=3.0, horizon_us=ms(300))
+
+# -- strategies ------------------------------------------------------------
+
+_MECHANISMS = ("seu", "emi-burst", "connector", "permanent", "sensor")
+_TARGETS = ("comp1", "comp2", "comp3", "channel:0")
+
+_plan_event = st.tuples(
+    st.sampled_from(_MECHANISMS),
+    st.sampled_from(_TARGETS),
+    st.integers(min_value=0, max_value=10**9),
+)
+
+
+@st.composite
+def _outcomes(draw, index: int) -> CampaignReplicaOutcome:
+    """A self-consistent outcome built through the scalar fold."""
+    plan = tuple(draw(st.lists(_plan_event, max_size=6)))
+    correct = tuple(draw(st.booleans()) for _ in plan)
+    injected: dict[str, int] = {}
+    attributed: dict[str, int] = {}
+    hits = 0
+    for (mechanism, _t, _a), ok in zip(plan, correct):
+        injected[mechanism] = injected.get(mechanism, 0) + 1
+        if ok:
+            attributed[mechanism] = attributed.get(mechanism, 0) + 1
+            hits += 1
+    with_obs = draw(st.booleans())
+    return CampaignReplicaOutcome(
+        index=index,
+        plan_events=plan,
+        injected_by_mechanism=tuple(sorted(injected.items())),
+        attributed_by_mechanism=tuple(sorted(attributed.items())),
+        faults_injected=len(plan),
+        faults_attributed=hits,
+        verdicts_emitted=draw(st.integers(min_value=0, max_value=20)),
+        events_simulated=draw(st.integers(min_value=0, max_value=10**6)),
+        obs_counters=(
+            {"counters": {"detector.symptoms": draw(st.integers(0, 99))}}
+            if with_obs
+            else None
+        ),
+        obs_trace=(
+            ({"seq": 0, "kind": "event", "replica": index},) if with_obs else ()
+        ),
+    )
+
+
+@st.composite
+def _result_batches(draw) -> list[ReplicaResult | ReplicaFailure]:
+    n = draw(st.integers(min_value=0, max_value=6))
+    fail_at = draw(
+        st.sets(st.integers(min_value=0, max_value=max(n - 1, 0)), max_size=2)
+    )
+    results: list[ReplicaResult | ReplicaFailure] = []
+    for i in range(n):
+        if i in fail_at:
+            results.append(
+                ReplicaFailure(
+                    index=i,
+                    error_type="ValueError",
+                    message=f"boom {i}",
+                    traceback="tb",
+                    attempts=1,
+                    worker="serial",
+                )
+            )
+            continue
+        outcome = draw(_outcomes(i))
+        results.append(
+            ReplicaResult(
+                index=i,
+                value=outcome,
+                events=outcome.events_simulated,
+                elapsed_s=draw(
+                    st.floats(
+                        min_value=0.0,
+                        max_value=10.0,
+                        allow_nan=False,
+                        allow_infinity=False,
+                    )
+                ),
+                worker=draw(st.sampled_from(("serial", "pid-100", "pid-200"))),
+            )
+        )
+    return results
+
+
+# -- SoA pack/unpack round-trip (property) ---------------------------------
+
+
+@settings(max_examples=60, deadline=None)
+@given(_result_batches())
+def test_pack_roundtrip_is_exact(results):
+    """from_results -> unpack reproduces every result bit for bit."""
+    pack = CampaignOutcomePack.from_results(results)
+    assert pack.unpack() == sorted(results, key=lambda r: r.index)
+
+
+def test_pack_roundtrip_empty():
+    pack = CampaignOutcomePack.from_results([])
+    assert pack.batch_size == 0
+    assert pack.unpack() == []
+
+
+def test_pack_rejects_inconsistent_outcomes():
+    base = CampaignReplicaOutcome(
+        index=0,
+        plan_events=(("seu", "comp1", 100),),
+        injected_by_mechanism=(("seu", 1),),
+        attributed_by_mechanism=(("seu", 1),),
+        faults_injected=1,
+        faults_attributed=1,
+        verdicts_emitted=1,
+        events_simulated=10,
+    )
+
+    def wrap(outcome):
+        return ReplicaResult(
+            index=0, value=outcome, events=10, elapsed_s=0.1, worker="serial"
+        )
+
+    with pytest.raises(ValueError, match="faults_injected"):
+        CampaignOutcomePack.from_results([wrap(replace(base, faults_injected=2))])
+    with pytest.raises(ValueError, match="faults_attributed"):
+        CampaignOutcomePack.from_results(
+            [wrap(replace(base, faults_attributed=0))]
+        )
+    with pytest.raises(TypeError, match="ObjectPack"):
+        CampaignOutcomePack.from_results([wrap("not-an-outcome")])
+
+
+# -- bank vector exports ---------------------------------------------------
+
+
+def test_alpha_scores_vector_projects_scores():
+    bank = AlphaCountBank(decay=0.5, threshold=2.0)
+    bank.observe("comp1", failed=True)
+    bank.observe("comp1", failed=True)
+    bank.observe("comp2", failed=True)
+    bank.observe("comp2", failed=False)
+    order = ("comp1", "comp2", "never-seen")
+    vec = bank.scores_vector(order)
+    scores = bank.scores()
+    assert vec.dtype == np.float64 and vec.shape == (3,)
+    assert vec[0] == scores["comp1"] == 2.0
+    assert vec[1] == scores["comp2"] == 0.5
+    assert vec[2] == 0.0  # fresh AlphaCount default
+
+
+def test_trust_values_vector_projects_values():
+    bank = TrustBank(demerit=0.5)
+    bank.update("comp1", 1.0, now_us=10)
+    bank.update("comp2", 0.0, now_us=10)
+    order = ("comp1", "comp2", "never-seen")
+    vec = bank.values_vector(order)
+    values = bank.values()
+    assert vec.dtype == np.float64 and vec.shape == (3,)
+    assert vec[0] == values["comp1"] == 0.5
+    assert vec[1] == values["comp2"] == 1.0
+    assert vec[2] == 1.0  # fresh TrustLevel default
+
+
+# -- the SoA executor on real campaign replicas ----------------------------
+
+
+def _tasks(n: int, spec=SPEC, root_seed: int = 7) -> list[ReplicaTask]:
+    return [
+        ReplicaTask(index=i, root_seed=root_seed, spec=spec) for i in range(n)
+    ]
+
+
+def test_batch_executor_matches_scalar_chunk():
+    tasks = _tasks(3)
+    scalar = _execute_chunk(
+        run_campaign_replica, tasks, worker_label="serial"
+    )
+    pack = run_campaign_batch(tasks, worker_label="serial")
+    batched = pack.unpack()
+    assert [r.value for r in batched] == [r.value for r in scalar]
+    assert [r.index for r in batched] == [r.index for r in scalar]
+    assert [r.events for r in batched] == [r.events for r in scalar]
+    assert all(r.worker == "serial" for r in batched)
+
+
+def test_batch_executor_state_matrices():
+    tasks = _tasks(3)
+    pack = run_campaign_batch(tasks, worker_label="serial")
+    n_fru = len(pack.state_frus)
+    assert pack.state_frus == tuple(sorted(pack.state_frus))
+    assert pack.alpha_scores.shape == (3, n_fru)
+    assert pack.trust_values.shape == (3, n_fru)
+    assert (pack.alpha_scores >= 0.0).all()
+    assert (pack.trust_values > 0.0).all()
+    assert (pack.trust_values <= 1.0).all()
+    # Per-replica fold redundancy: CSR offsets and matrices agree.
+    assert pack.event_offsets[-1] == pack.event_mechanism.shape[0]
+    assert (
+        pack.injected.sum(axis=1) == np.diff(pack.event_offsets)
+    ).all()
+    assert (pack.attributed <= pack.injected).all()
+
+
+def test_batch_executor_captures_failures():
+    # A string spec has no campaign fields -> AttributeError inside the
+    # replica; with capture_errors the batch isolates it exactly like
+    # the scalar chunk executor does.
+    tasks = _tasks(3)
+    tasks[1] = ReplicaTask(index=1, root_seed=7, spec="garbage")
+    pack = run_campaign_batch(tasks, worker_label="serial", capture_errors=True)
+    out = pack.unpack()
+    assert [r.index for r in out] == [0, 1, 2]
+    assert isinstance(out[1], ReplicaFailure)
+    assert out[1].error_type == "AttributeError"
+    scalar = _execute_chunk(
+        run_campaign_replica, tasks, worker_label="serial", capture_errors=True
+    )
+    assert out[0].value == scalar[0].value
+    assert out[2].value == scalar[2].value
+    with pytest.raises(AttributeError):
+        run_campaign_batch(tasks, worker_label="serial", capture_errors=False)
+
+
+def test_batch_executor_empty_batch():
+    pack = run_campaign_batch([], worker_label="serial")
+    assert pack.batch_size == 0
+    assert pack.unpack() == []
+
+
+# -- the generic object pack -----------------------------------------------
+
+
+def _square_task(replica: ReplicaTask) -> int:
+    return replica.index**2
+
+
+def test_sequential_batch_task_wraps_scalar_semantics():
+    tasks = [ReplicaTask(index=i, root_seed=0) for i in range(4)]
+    wrapped = SequentialBatchTask(_square_task)
+    pack = wrapped(tasks, "serial", False)
+    assert isinstance(pack, ObjectPack)
+    scalar = _execute_chunk(_square_task, tasks, "serial", False)
+    # elapsed_s is wall clock and differs between any two runs.
+    assert [replace(r, elapsed_s=0.0) for r in pack.unpack()] == [
+        replace(r, elapsed_s=0.0) for r in scalar
+    ]

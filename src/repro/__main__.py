@@ -28,6 +28,12 @@ Commands
     replicas are loaded, the rest are executed, and the final aggregate
     is bit-identical to an uninterrupted run.
 
+``query [WHAT] --store DIR``
+    Offline analytics over a columnar campaign store written with
+    ``--store`` (NFF ratio, per-mechanism confusion, accuracy drift
+    across campaigns, provenance stage-latency percentiles) — reads the
+    stored tables only and never instantiates the simulator.
+
 ``obs report PATH``
     Validate a recorded JSONL obs trace and render its summary.
 ``obs export --format chrome PATH``
@@ -48,7 +54,10 @@ structured run-metrics record.  ``--checkpoint PATH`` makes the run
 durable (chunk-granular JSONL ledger, resumable with ``repro resume``);
 ``--salvage`` degrades gracefully on retry exhaustion — the partial
 aggregate is returned with an explicit completeness report instead of
-the run stalling in the serial fallback.
+the run stalling in the serial fallback.  ``--store DIR`` additionally
+writes the reduced result into the columnar campaign store (with
+``--campaign-id`` as the partition label and ``--store-format`` picking
+Parquet or the columnar-JSON fallback; see ``docs/storage.md``).
 
 Observability flags (``docs/observability.md``): ``--trace PATH`` writes
 a schema-v2 JSONL obs trace of the run (for ``mc`` the parent aggregates
@@ -155,6 +164,7 @@ def _emit_completeness(outcome) -> None:
 def _checkpoint_kwargs(args: argparse.Namespace, command: str, params: dict):
     """Runner keyword arguments shared by the campaign-style commands."""
     checkpoint = getattr(args, "checkpoint", None)
+    store = getattr(args, "store", None)
     meta = None
     if checkpoint:
         meta = {
@@ -168,8 +178,19 @@ def _checkpoint_kwargs(args: argparse.Namespace, command: str, params: dict):
                 "provenance": args.provenance,
                 "metrics_json": args.metrics_json,
                 "salvage": args.salvage,
+                "store": store,
+                "campaign_id": args.campaign_id,
+                "store_format": args.store_format,
                 **params,
             },
+        }
+    store_meta = None
+    if store:
+        store_meta = {
+            "campaign_id": args.campaign_id,
+            "format": args.store_format,
+            "command": command,
+            "params": {"seed": args.seed, **params},
         }
     return {
         "on_exhausted": "salvage" if args.salvage else "serial",
@@ -177,7 +198,19 @@ def _checkpoint_kwargs(args: argparse.Namespace, command: str, params: dict):
         "checkpoint": checkpoint,
         "resume": bool(getattr(args, "_resume", False)),
         "checkpoint_meta": meta,
+        "store": store,
+        "store_meta": store_meta,
     }
+
+
+def _emit_store(args: argparse.Namespace) -> None:
+    if getattr(args, "store", None):
+        print(
+            f"[columnar store part written under {args.store} "
+            f"(campaign {args.campaign_id!r}); inspect with "
+            "`python -m repro query report --store "
+            f"{args.store}`]"
+        )
 
 
 def cmd_demo(args: argparse.Namespace) -> int:
@@ -254,6 +287,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         )
     )
     print(f"accuracy: {result.score.accuracy:.0%}")
+    _emit_store(args)
     _emit_metrics(args, result.metrics)
     return 0
 
@@ -328,6 +362,7 @@ def cmd_mc(args: argparse.Namespace) -> int:
     if args.provenance and summary.obs_counters is not None:
         _print_mc_provenance(summary.obs_counters)
     _emit_completeness(outcome)
+    _emit_store(args)
     _emit_metrics(args, outcome.metrics)
     return 0
 
@@ -437,6 +472,7 @@ def cmd_fleet(args: argparse.Namespace) -> int:
             + ", ".join(analysis.identified_hot)
             + f"  (ground truth: {', '.join(sorted(result.report.hot_types))})"
         )
+    _emit_store(args)
     _emit_metrics(args, result.metrics)
     return 0
 
@@ -557,6 +593,48 @@ def cmd_explain(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_query(args: argparse.Namespace) -> int:
+    """Offline analytics over a columnar store — never touches the sim."""
+    import json
+
+    from repro.errors import ConfigurationError
+    from repro.storage import query as store_query
+    from repro.storage.store import CampaignStore
+
+    if not args.store:
+        print(
+            "query needs a store: python -m repro query "
+            f"{args.what} --store DIR",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        store = CampaignStore(args.store)
+        if args.what == "scan":
+            result: object = store.scan_report()
+        elif args.what == "campaigns":
+            result = store_query.campaign_summaries(store, args.campaign)
+        elif args.what == "nff":
+            result = store_query.nff_ratio(store, args.campaign)
+        elif args.what == "confusion":
+            result = store_query.confusion(store, args.campaign)
+        elif args.what == "drift":
+            result = store_query.accuracy_drift(store)
+        elif args.what == "latency":
+            result = store_query.stage_latency(store, args.campaign)
+        else:  # report
+            print(
+                store_query.render_query_report(store, args.campaign),
+                end="",
+            )
+            return 0
+    except ConfigurationError as exc:
+        print(f"store query failed: {exc}", file=sys.stderr)
+        return 1
+    print(json.dumps(result, indent=2, sort_keys=True))
+    return 0
+
+
 #: Parser defaults of the options ``resume`` may override; a post-
 #: ``resume`` flag wins over the recorded invocation only when it
 #: differs from the default (the seed is deliberately NOT overridable —
@@ -568,6 +646,9 @@ _RESUME_OVERRIDABLE: dict[str, object] = {
     "trace": None,
     "profile": False,
     "salvage": False,
+    "store": None,
+    "campaign_id": "default",
+    "store_format": "auto",
 }
 
 #: Per-command parser defaults ``cmd_resume`` starts from before
@@ -712,6 +793,41 @@ _GLOBAL_OPTIONS: list[tuple[tuple[str, ...], dict]] = [
             ),
         },
     ),
+    (
+        ("--store",),
+        {
+            "metavar": "DIR",
+            "default": None,
+            "help": (
+                "write the reduced run into the columnar campaign store "
+                "rooted at DIR (docs/storage.md); query offline with "
+                "`python -m repro query ... --store DIR`"
+            ),
+        },
+    ),
+    (
+        ("--campaign-id",),
+        {
+            "metavar": "ID",
+            "default": "default",
+            "help": (
+                "store partition label for this run (default 'default'); "
+                "distinct ids make cross-campaign queries like accuracy "
+                "drift meaningful"
+            ),
+        },
+    ),
+    (
+        ("--store-format",),
+        {
+            "choices": ["auto", "json", "parquet"],
+            "default": "auto",
+            "help": (
+                "store file format: 'auto' (default) prefers Parquet when "
+                "pyarrow is installed and falls back to columnar JSON"
+            ),
+        },
+    ),
 ]
 
 
@@ -802,6 +918,32 @@ def main(argv: list[str] | None = None) -> int:
     explain_cmd.add_argument(
         "--json", action="store_true", help="machine-readable JSON output"
     )
+    query_cmd = add_command(
+        "query", "offline analytics over a columnar campaign store"
+    )
+    query_cmd.add_argument(
+        "what",
+        nargs="?",
+        default="report",
+        choices=[
+            "report",
+            "campaigns",
+            "nff",
+            "confusion",
+            "drift",
+            "latency",
+            "scan",
+        ],
+        help=(
+            "aggregate to compute (default: the full byte-stable report); "
+            "'scan' runs the tolerant integrity scan"
+        ),
+    )
+    query_cmd.add_argument(
+        "--campaign",
+        default=None,
+        help="restrict to one campaign id (drift always spans all)",
+    )
     args = parser.parse_args(argv)
     commands = {
         "demo": cmd_demo,
@@ -814,11 +956,26 @@ def main(argv: list[str] | None = None) -> int:
         "obs": cmd_obs,
         "explain": cmd_explain,
         "resume": cmd_resume,
+        "query": cmd_query,
     }
     if args.command is None:
         parser.print_help()
         return 1
-    if args.command in ("obs", "mc", "explain", "resume") or not (
+    if getattr(args, "store", None):
+        # Fail fast on an unusable store target: a bad campaign id or a
+        # format the host cannot write must be reported before hours of
+        # simulation, not when write_run finally runs after the reduce.
+        from repro.errors import ConfigurationError
+        from repro.storage.backend import resolve_format
+        from repro.storage.writer import validate_campaign_id
+
+        try:
+            resolve_format(args.store_format)
+            validate_campaign_id(args.campaign_id)
+        except ConfigurationError as exc:
+            print(f"store setup failed: {exc}", file=sys.stderr)
+            return 1
+    if args.command in ("obs", "mc", "explain", "resume", "query") or not (
         getattr(args, "trace", None) or getattr(args, "profile", False)
     ):
         return commands[args.command](args)

@@ -162,6 +162,8 @@ def simulate_diagnosed_fleet(
     checkpoint: str | None = None,
     resume: bool = False,
     checkpoint_meta: dict | None = None,
+    store: str | None = None,
+    store_meta: dict | None = None,
 ) -> DiagnosedFleetResult:
     """Simulate ``n_vehicles`` full vehicles and collect OEM field data.
 
@@ -204,6 +206,8 @@ def simulate_diagnosed_fleet(
         checkpoint=checkpoint,
         resume=resume,
         checkpoint_meta=checkpoint_meta,
+        store=store,
+        store_meta=store_meta,
     )
     if not outcome.results:
         raise AnalysisError(

@@ -406,6 +406,8 @@ def run_campaign(
     checkpoint: str | None = None,
     resume: bool = False,
     checkpoint_meta: dict | None = None,
+    store: str | None = None,
+    store_meta: dict | None = None,
 ) -> CampaignResult:
     """Run every scenario on every seed; score classification and costs.
 
@@ -426,11 +428,13 @@ def run_campaign(
     specs = [
         (scenario.name, seed) for seed in seeds for scenario in scenarios
     ]
-    if (checkpoint is not None or backend != "scalar") and workers <= 1:
+    if (
+        checkpoint is not None or store is not None or backend != "scalar"
+    ) and workers <= 1:
         # The serial fast path below keeps live ScenarioRun objects and
         # bypasses the runner; checkpointing needs the runner's chunked
-        # ledger and a non-default backend needs its chunk executor, so
-        # route through it.
+        # ledger, the columnar store its post-reduce write hook, and a
+        # non-default backend its chunk executor, so route through it.
         workers = 1
         catalogue_names = {s.name for s in CATALOGUE}
         unknown = {name for name, _ in specs} - catalogue_names
@@ -453,6 +457,8 @@ def run_campaign(
             checkpoint=checkpoint,
             resume=resume,
             checkpoint_meta=checkpoint_meta,
+            store=store,
+            store_meta=store_meta,
         )
         result = (
             outcome.value
@@ -488,6 +494,8 @@ def run_campaign(
             checkpoint=checkpoint,
             resume=resume,
             checkpoint_meta=checkpoint_meta,
+            store=store,
+            store_meta=store_meta,
         )
         result = (
             outcome.value

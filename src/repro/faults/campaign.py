@@ -289,6 +289,13 @@ class CampaignReplicaOutcome:
     obs_counters: dict | None = None
     #: Schema-v2 trace line dicts (replica-tagged) when tracing was on.
     obs_trace: tuple[dict, ...] = ()
+    #: Final per-FRU alpha-count scores, sorted by FRU name — the
+    #: diagnostic state the columnar store persists as verdict columns
+    #: (:mod:`repro.storage`).  Identical across backends: the batched
+    #: pack round-trips them through its CSR state columns.
+    alpha_state: tuple[tuple[str, float], ...] = ()
+    #: Final per-FRU trust levels, sorted by FRU name.
+    trust_state: tuple[tuple[str, float], ...] = ()
 
 
 @dataclass(frozen=True, slots=True)

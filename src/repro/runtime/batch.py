@@ -139,9 +139,12 @@ class CampaignOutcomePack:
 
     ``alpha_scores``/``trust_values`` are the diagnostic state of every
     replica as ``(B, n_fru)`` matrices over ``state_frus`` (absent FRUs
-    read the banks' fresh-state defaults: score 0.0, trust 1.0).  They
-    are analysis payload — deliberately not part of the outcome
-    round-trip, which only covers what the scalar backend produces.
+    read the banks' fresh-state defaults: score 0.0, trust 1.0) — dense
+    analysis payload.  The ``alpha_*``/``trust_*`` CSR columns carry the
+    same state *exactly* (only the FRUs each replica actually reported,
+    with their raw float64 finals), which is what lets ``unpack``
+    reproduce the scalar backend's ``alpha_state``/``trust_state``
+    tuples bit-for-bit for the columnar store (:mod:`repro.storage`).
     """
 
     indices: np.ndarray  # (B,) int64 replica indices
@@ -162,6 +165,12 @@ class CampaignOutcomePack:
     state_frus: tuple[str, ...] = ()
     alpha_scores: np.ndarray | None = None  # (B, n_fru) float64
     trust_values: np.ndarray | None = None  # (B, n_fru) float64
+    alpha_offsets: np.ndarray | None = None  # (B+1,) int64 CSR offsets
+    alpha_fru: np.ndarray | None = None  # (Sa,) int64 -> state_frus
+    alpha_value: np.ndarray | None = None  # (Sa,) float64 exact finals
+    trust_offsets: np.ndarray | None = None  # (B+1,) int64 CSR offsets
+    trust_fru: np.ndarray | None = None  # (St,) int64 -> state_frus
+    trust_value: np.ndarray | None = None  # (St,) float64 exact finals
     failures: tuple[ReplicaFailure, ...] = ()
 
     @property
@@ -194,6 +203,28 @@ class CampaignOutcomePack:
                 for j, count in enumerate(self.attributed[row])
                 if count
             )
+            alpha_state: tuple[tuple[str, float], ...] = ()
+            if self.alpha_offsets is not None:
+                a_lo = int(self.alpha_offsets[row])
+                a_hi = int(self.alpha_offsets[row + 1])
+                alpha_state = tuple(
+                    (
+                        self.state_frus[int(self.alpha_fru[k])],
+                        float(self.alpha_value[k]),
+                    )
+                    for k in range(a_lo, a_hi)
+                )
+            trust_state: tuple[tuple[str, float], ...] = ()
+            if self.trust_offsets is not None:
+                t_lo = int(self.trust_offsets[row])
+                t_hi = int(self.trust_offsets[row + 1])
+                trust_state = tuple(
+                    (
+                        self.state_frus[int(self.trust_fru[k])],
+                        float(self.trust_value[k]),
+                    )
+                    for k in range(t_lo, t_hi)
+                )
             value = CampaignReplicaOutcome(
                 index=int(self.indices[row]),
                 plan_events=plan_events,
@@ -211,6 +242,8 @@ class CampaignOutcomePack:
                 obs_trace=(
                     self.obs_traces[row] if self.obs_traces is not None else ()
                 ),
+                alpha_state=alpha_state,
+                trust_state=trust_state,
             )
             out.append(
                 ReplicaResult(
@@ -281,6 +314,28 @@ class CampaignOutcomePack:
                     obs_trace=o.obs_trace,
                     elapsed_s=r.elapsed_s,
                     worker=r.worker,
+                    alpha=(
+                        (
+                            tuple(f for f, _ in o.alpha_state),
+                            np.asarray(
+                                [v for _, v in o.alpha_state],
+                                dtype=np.float64,
+                            ),
+                        )
+                        if o.alpha_state
+                        else None
+                    ),
+                    trust=(
+                        (
+                            tuple(f for f, _ in o.trust_state),
+                            np.asarray(
+                                [v for _, v in o.trust_state],
+                                dtype=np.float64,
+                            ),
+                        )
+                        if o.trust_state
+                        else None
+                    ),
                 )
             )
         return _build_pack(rows, failures)
@@ -358,7 +413,9 @@ def _build_pack(
 
     state_frus: tuple[str, ...] = ()
     alpha_scores = trust_values = None
-    if any(row.alpha is not None for row in rows):
+    alpha_offsets = alpha_fru = alpha_value = None
+    trust_offsets = trust_fru = trust_value = None
+    if any(row.alpha is not None or row.trust is not None for row in rows):
         state_frus = tuple(
             sorted(
                 {f for row in rows if row.alpha for f in row.alpha[0]}
@@ -368,15 +425,39 @@ def _build_pack(
         fru_col = {f: j for j, f in enumerate(state_frus)}
         alpha_scores = np.zeros((batch, len(state_frus)), dtype=np.float64)
         trust_values = np.ones((batch, len(state_frus)), dtype=np.float64)
+        # CSR twin of the dense matrices: exact per-replica (fru, value)
+        # lists, preserving which FRUs each replica actually reported —
+        # the dense fill-values (0.0 / 1.0) are indistinguishable from
+        # real finals, so only the CSR form can round-trip the scalar
+        # outcome's alpha_state/trust_state tuples.
+        total_alpha = sum(len(row.alpha[0]) for row in rows if row.alpha)
+        total_trust = sum(len(row.trust[0]) for row in rows if row.trust)
+        alpha_offsets = np.zeros(batch + 1, dtype=np.int64)
+        alpha_fru = np.empty(total_alpha, dtype=np.int64)
+        alpha_value = np.empty(total_alpha, dtype=np.float64)
+        trust_offsets = np.zeros(batch + 1, dtype=np.int64)
+        trust_fru = np.empty(total_trust, dtype=np.int64)
+        trust_value = np.empty(total_trust, dtype=np.float64)
+        a_cursor = t_cursor = 0
         for row_i, row in enumerate(rows):
             if row.alpha is not None:
                 frus, vec = row.alpha
                 cols = [fru_col[f] for f in frus]
                 alpha_scores[row_i, cols] = vec
+                hi = a_cursor + len(cols)
+                alpha_fru[a_cursor:hi] = cols
+                alpha_value[a_cursor:hi] = vec
+                a_cursor = hi
+            alpha_offsets[row_i + 1] = a_cursor
             if row.trust is not None:
                 frus, vec = row.trust
                 cols = [fru_col[f] for f in frus]
                 trust_values[row_i, cols] = vec
+                hi = t_cursor + len(cols)
+                trust_fru[t_cursor:hi] = cols
+                trust_value[t_cursor:hi] = vec
+                t_cursor = hi
+            trust_offsets[row_i + 1] = t_cursor
 
     return CampaignOutcomePack(
         indices=np.asarray([row.index for row in rows], dtype=np.int64),
@@ -397,6 +478,12 @@ def _build_pack(
         state_frus=state_frus,
         alpha_scores=alpha_scores,
         trust_values=trust_values,
+        alpha_offsets=alpha_offsets,
+        alpha_fru=alpha_fru,
+        alpha_value=alpha_value,
+        trust_offsets=trust_offsets,
+        trust_fru=trust_fru,
+        trust_value=trust_value,
         failures=failures,
     )
 

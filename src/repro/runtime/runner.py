@@ -372,6 +372,8 @@ class ParallelCampaignRunner:
         checkpoint: str | Path | None = None,
         resume: bool = False,
         checkpoint_meta: dict[str, Any] | None = None,
+        store: str | Path | None = None,
+        store_meta: dict[str, Any] | None = None,
     ) -> RunOutcome:
         """Execute one replica per spec; reduce deterministically.
 
@@ -386,6 +388,15 @@ class ParallelCampaignRunner:
         interrupted-then-resumed run is bit-identical to an
         uninterrupted one (the ledger stores the full per-replica
         values, and the reduce always sees all of them in index order).
+
+        With ``store`` the reduced outcome is additionally flattened
+        into the columnar campaign store rooted at that directory
+        (:mod:`repro.storage`) — one part per ``(campaign id, plan
+        digest, spec digest)``, written after the reduce so a
+        resumed-then-stored run produces the identical part an
+        uninterrupted run would.  ``store_meta`` may carry
+        ``campaign_id`` and ``command``/``params`` labels for the part
+        manifest.
         """
         tasks = [
             ReplicaTask(index=i, root_seed=int(root_seed), spec=spec)
@@ -482,12 +493,27 @@ class ParallelCampaignRunner:
             value = self.reduce(values)
         else:
             value = tuple(values)
-        return RunOutcome(
+        outcome = RunOutcome(
             value=value,
             results=tuple(results),
             metrics=metrics,
             failures=tuple(failures[i] for i in sorted(failures)),
         )
+        if store is not None:
+            # Deferred import: the storage package is sim-free and the
+            # runner must stay importable without it paying for (or the
+            # query path depending on) this write path.
+            from repro.runtime.checkpoint import spec_digest
+            from repro.storage.writer import write_run
+
+            write_run(
+                store,
+                outcome,
+                root_seed=int(root_seed),
+                spec_digest=spec_digest(int(root_seed), specs),
+                meta=store_meta,
+            )
+        return outcome
 
     # -- internals --------------------------------------------------------
 

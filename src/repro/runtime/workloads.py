@@ -192,6 +192,12 @@ def run_campaign_replica(replica: ReplicaTask) -> CampaignReplicaOutcome:
         events_simulated=m.events_simulated,
         obs_counters=m.obs_counters,
         obs_trace=m.obs_trace,
+        alpha_state=tuple(
+            (fru, float(v)) for fru, v in zip(m.alpha_frus, m.alpha_scores)
+        ),
+        trust_state=tuple(
+            (fru, float(v)) for fru, v in zip(m.trust_frus, m.trust_values)
+        ),
     )
 
 
@@ -212,6 +218,8 @@ def run_random_campaigns(
     checkpoint: str | None = None,
     resume: bool = False,
     checkpoint_meta: dict | None = None,
+    store: str | None = None,
+    store_meta: dict | None = None,
 ) -> RunOutcome:
     """Run ``replicas`` independent stochastic campaigns.
 
@@ -254,4 +262,6 @@ def run_random_campaigns(
         checkpoint=checkpoint,
         resume=resume,
         checkpoint_meta=checkpoint_meta,
+        store=store,
+        store_meta=store_meta,
     )

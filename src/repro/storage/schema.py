@@ -1,0 +1,121 @@
+"""Declared, versioned schema of the columnar campaign store.
+
+One part (one stored run) is a directory of per-table files plus a
+``manifest.json``.  Every table is declared here as an ordered
+``column -> dtype`` mapping; both backends (:mod:`repro.storage.backend`)
+write exactly these columns in exactly this order, so a part written
+through the pure-Python JSON fallback holds the same logical content as
+a Parquet part and every query aggregates identically over either.
+
+Dtypes are logical, not physical: ``int64``/``float64``/``str`` plus the
+nullable variants ``float64?``/``str?``.  Float columns round-trip
+**exactly** in both formats — Parquet stores IEEE-754 doubles natively
+and the JSON backend relies on Python's shortest-repr float serialization
+(with ``NaN``/``Infinity`` literals allowed), so NaN/inf alpha finals
+survive bit-for-bit.
+
+Schema evolution is versioned: readers accept exactly
+:data:`STORE_SCHEMA_VERSION` and reject anything else with a
+:class:`~repro.errors.ConfigurationError` (see
+:class:`repro.storage.store.CampaignStore`), mirroring the checkpoint
+ledger's header validation.
+"""
+
+from __future__ import annotations
+
+#: Bump on any change to the table layouts or manifest fields below.
+STORE_SCHEMA_VERSION = 1
+
+#: Manifest file name inside every part directory.
+MANIFEST_NAME = "manifest.json"
+
+#: Part kinds: ``"campaign"`` parts carry the full verdict tables of a
+#: stochastic campaign (``mc`` / ``campaign`` runs); ``"generic"`` parts
+#: catalogue runs whose per-replica values have no campaign encoding
+#: (fleet vehicles) with the replica and counter tables only.
+PART_KINDS = ("campaign", "generic")
+
+#: Ordered ``table -> {column: dtype}`` declarations.
+TABLES: dict[str, dict[str, str]] = {
+    # One row per completed replica: the verdict row of the store.
+    "replicas": {
+        "replica": "int64",
+        "seed_fingerprint": "str",
+        "faults_injected": "int64",
+        "faults_attributed": "int64",
+        "verdicts_emitted": "int64",
+        "events_simulated": "int64",
+        "elapsed_s": "float64",
+        "worker": "str",
+    },
+    # The injected plan, one row per fault event (CSR flattened).
+    "plan_events": {
+        "replica": "int64",
+        "ordinal": "int64",
+        "mechanism": "str",
+        "target": "str",
+        "at_us": "int64",
+    },
+    # Per-replica per-mechanism injected/attributed counts (the
+    # confusion-matrix fact table).
+    "mechanisms": {
+        "replica": "int64",
+        "mechanism": "str",
+        "injected": "int64",
+        "attributed": "int64",
+    },
+    # Final per-FRU diagnostic state, exactly as the replica reported it.
+    "alpha_state": {
+        "replica": "int64",
+        "fru": "str",
+        "value": "float64",
+    },
+    "trust_state": {
+        "replica": "int64",
+        "fru": "str",
+        "value": "float64",
+    },
+    # Merged (index-order) observability counters of the whole run.
+    "counters": {
+        "key": "str",
+        "value": "float64",
+    },
+    # Merged histograms — one row per key; power-of-two buckets ride as
+    # a canonical JSON string so the exact mergeable state round-trips.
+    "histograms": {
+        "key": "str",
+        "count": "int64",
+        "sum": "float64",
+        "min": "float64?",
+        "max": "float64?",
+        "buckets": "str",
+    },
+    # Structured records of replicas that produced no value (salvage).
+    "failures": {
+        "replica": "int64",
+        "error_type": "str",
+        "message": "str",
+        "traceback": "str",
+        "attempts": "int64",
+        "worker": "str",
+    },
+}
+
+#: Tables written for every part kind.
+GENERIC_TABLES = ("replicas", "counters", "histograms", "failures")
+
+#: Columns whose values depend on *where/when* a replica executed, not
+#: on ``(root_seed, specs)`` — excluded from resume-equality comparisons
+#: (a resumed-then-stored part matches an uninterrupted one on every
+#: other column).
+VOLATILE_COLUMNS: dict[str, tuple[str, ...]] = {
+    "replicas": ("elapsed_s", "worker"),
+    "failures": ("worker",),
+}
+
+
+def tables_for_kind(kind: str) -> tuple[str, ...]:
+    """The table names a part of ``kind`` must contain."""
+    if kind == "campaign":
+        return tuple(TABLES)
+    return GENERIC_TABLES

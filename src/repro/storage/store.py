@@ -1,0 +1,192 @@
+"""Read path of the columnar campaign store.
+
+:class:`CampaignStore` scans a store root for parts, validates every
+manifest (schema version, table inventory) and verifies each table
+file's byte checksum before parsing it — a truncated, bit-flipped or
+version-skewed part fails with a clear
+:class:`~repro.errors.ConfigurationError` naming the offending file,
+never a backend stack trace.  A tolerant scan mode mirrors the
+checkpoint ledger's tail recovery: skip unreadable parts, report how
+many were dropped, aggregate the rest.
+
+Nothing in this module (or anything it imports) touches the simulator:
+queries over stored campaigns run on a bare interpreter.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.errors import ConfigurationError
+from repro.storage.backend import file_sha256, get_backend
+from repro.storage.schema import (
+    MANIFEST_NAME,
+    PART_KINDS,
+    STORE_SCHEMA_VERSION,
+    TABLES,
+    tables_for_kind,
+)
+
+
+@dataclass
+class StorePart:
+    """One validated part: manifest plus lazily-read, checksummed tables."""
+
+    path: Path
+    manifest: dict[str, Any]
+    _tables: dict[str, dict[str, list]] = field(
+        default_factory=dict, repr=False
+    )
+
+    @property
+    def campaign_id(self) -> str:
+        return self.manifest["campaign_id"]
+
+    @property
+    def kind(self) -> str:
+        return self.manifest["kind"]
+
+    @property
+    def plan_digest(self) -> str | None:
+        return self.manifest.get("plan_digest")
+
+    def table(self, name: str) -> dict[str, list]:
+        """Columns of one table, checksum-verified on first access."""
+        cached = self._tables.get(name)
+        if cached is not None:
+            return cached
+        entry = self.manifest["files"].get(name)
+        if entry is None:
+            raise ConfigurationError(
+                f"store part {self.path} has no table {name!r} "
+                f"(kind {self.kind!r})"
+            )
+        path = self.path / entry["path"]
+        if not path.is_file():
+            raise ConfigurationError(
+                f"corrupt store part {self.path}: table file "
+                f"{entry['path']!r} is missing"
+            )
+        actual = file_sha256(path)
+        if actual != entry["sha256"]:
+            raise ConfigurationError(
+                f"corrupt store table {path}: checksum mismatch "
+                f"(manifest {entry['sha256'][:12]}…, file {actual[:12]}…) "
+                "— the file was truncated or modified after the part was "
+                "written"
+            )
+        backend = get_backend(self.manifest["format"])
+        columns = backend.read_table(path, name)
+        expected = list(TABLES[name])
+        if sorted(columns) != sorted(expected):
+            raise ConfigurationError(
+                f"corrupt store table {path}: columns {sorted(columns)!r} "
+                f"do not match schema v{STORE_SCHEMA_VERSION} "
+                f"({expected!r})"
+            )
+        rows = {len(values) for values in columns.values()}
+        if len(rows) > 1 or (rows and rows != {entry["rows"]}):
+            raise ConfigurationError(
+                f"corrupt store table {path}: row counts {sorted(rows)!r} "
+                f"disagree with the manifest ({entry['rows']})"
+            )
+        self._tables[name] = columns
+        return columns
+
+
+def _load_manifest(part_dir: Path) -> dict[str, Any]:
+    manifest_path = part_dir / MANIFEST_NAME
+    if not manifest_path.is_file():
+        raise ConfigurationError(
+            f"store part {part_dir} has no {MANIFEST_NAME}"
+        )
+    try:
+        manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        raise ConfigurationError(
+            f"corrupt store part {part_dir}: unreadable manifest ({exc})"
+        ) from None
+    version = manifest.get("schema_version")
+    if version != STORE_SCHEMA_VERSION:
+        raise ConfigurationError(
+            f"store part {part_dir} uses schema version {version!r}; "
+            f"this build reads version {STORE_SCHEMA_VERSION} only — "
+            "re-store the campaign (or use a matching build)"
+        )
+    kind = manifest.get("kind")
+    if kind not in PART_KINDS:
+        raise ConfigurationError(
+            f"corrupt store part {part_dir}: unknown kind {kind!r}"
+        )
+    files = manifest.get("files")
+    missing = [t for t in tables_for_kind(kind) if t not in (files or {})]
+    if missing:
+        raise ConfigurationError(
+            f"corrupt store part {part_dir}: manifest lists no "
+            f"file for table(s) {missing!r}"
+        )
+    return manifest
+
+
+class CampaignStore:
+    """A store root: ``<root>/<campaign_id>/<digest>/part-*/``."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        if not self.root.is_dir():
+            raise ConfigurationError(
+                f"store root {self.root} does not exist or is not a "
+                "directory"
+            )
+
+    def part_dirs(self) -> list[Path]:
+        """Every part directory, sorted for deterministic iteration."""
+        return sorted(
+            p.parent for p in self.root.glob(f"*/*/part-*/{MANIFEST_NAME}")
+        )
+
+    def parts(
+        self,
+        *,
+        campaign: str | None = None,
+        kind: str | None = None,
+        tolerant: bool = False,
+    ) -> list[StorePart]:
+        """Load (and validate) parts; ``tolerant`` skips corrupt ones.
+
+        Strict mode (default) raises on the first unreadable part —
+        queries must never silently aggregate over a damaged store.
+        Tolerant mode mirrors the ledger's tail recovery: damaged parts
+        are dropped and counted (see :meth:`scan_report`).
+        """
+        parts: list[StorePart] = []
+        self.skipped: list[tuple[Path, str]] = []
+        for part_dir in self.part_dirs():
+            try:
+                manifest = _load_manifest(part_dir)
+            except ConfigurationError as exc:
+                if not tolerant:
+                    raise
+                self.skipped.append((part_dir, str(exc)))
+                continue
+            if campaign is not None and manifest["campaign_id"] != campaign:
+                continue
+            if kind is not None and manifest["kind"] != kind:
+                continue
+            parts.append(StorePart(path=part_dir, manifest=manifest))
+        return parts
+
+    def scan_report(self) -> dict[str, Any]:
+        """Tolerant-scan summary: how many parts loaded vs skipped."""
+        parts = self.parts(tolerant=True)
+        return {
+            "parts": len(parts),
+            "skipped": len(self.skipped),
+            "skipped_parts": [
+                {"path": str(path), "error": error}
+                for path, error in self.skipped
+            ],
+        }

@@ -165,6 +165,46 @@ def test_batch_backend_wall():
     )
 
 
+def test_store_write_overhead(tmp_path):
+    """Columnar-store writes must stay inside the <10 % overhead budget.
+
+    The gate is relative — the same campaign with and without the store
+    write, measured in one session — so it is host-speed independent.
+    The stored aggregates must also answer exactly what the in-memory
+    reduce answers (the cheap end of the differential battery).
+    """
+    from benchmarks.bench_store import _time_store
+
+    baselines = _baselines()
+    base = baselines["benches"]["store_write"]
+    plain, stored, nff, _confusion, query_s = _time_store(
+        base["replicas"], tmp_path / "store"
+    )
+    wall_plain = plain.metrics.wall_time_s
+    wall_store = stored.metrics.wall_time_s
+    overhead = (wall_store - wall_plain) / wall_plain if wall_plain else 0.0
+    _record(
+        "store_write",
+        {
+            "wall_plain_s": round(wall_plain, 4),
+            "wall_store_s": round(wall_store, 4),
+            "query_s": round(query_s, 4),
+            "overhead_ratio": round(overhead, 4),
+            "max_overhead": base["max_overhead"],
+        },
+    )
+    assert stored.value == plain.value, (
+        "store write perturbed the campaign aggregate — identity broken; "
+        "fix the store differential battery first"
+    )
+    assert nff["faults_injected"] == plain.value.faults_injected
+    assert overhead <= base["max_overhead"], (
+        f"store write overhead {overhead:.1%} exceeds the "
+        f"{base['max_overhead']:.0%} budget "
+        f"({wall_store:.3f} s vs {wall_plain:.3f} s)"
+    )
+
+
 @pytest.mark.parametrize(
     "bench, measure",
     [("kernel_dispatch", _rate_one_shot), ("kernel_periodic", _rate_periodic)],

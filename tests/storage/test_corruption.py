@@ -1,0 +1,231 @@
+"""Corruption, version-skew and resume-equivalence tests for the store.
+
+A damaged store must fail *diagnosably*: truncated or bit-flipped table
+files and version-skewed manifests all surface as
+:class:`~repro.errors.ConfigurationError` naming the offending file —
+never a backend stack trace — and the tolerant scan mode reports how
+many parts were dropped.  Storing a resumed run must produce the same
+part an uninterrupted run writes, modulo the declared volatile columns
+(wall-clock and worker labels).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from types import SimpleNamespace
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults.campaign import CampaignReplicaOutcome, CampaignReplicaSpec
+from repro.runtime.runner import ReplicaResult, RunOutcome
+from repro.runtime.workloads import run_random_campaigns
+from repro.storage import CampaignStore, write_run
+from repro.storage.schema import TABLES, VOLATILE_COLUMNS, tables_for_kind
+from repro.units import ms
+
+SPEC_DIGEST = "cd" * 32
+
+
+def _synthetic_part(root: Path, *, campaign="c1", seed=7) -> Path:
+    """One small campaign part written without touching the simulator."""
+    outcome = CampaignReplicaOutcome(
+        index=0,
+        plan_events=(("seu", "comp1", 100), ("connector", "comp2", 900)),
+        injected_by_mechanism=(("connector", 1), ("seu", 1)),
+        attributed_by_mechanism=(("seu", 1),),
+        faults_injected=2,
+        faults_attributed=1,
+        verdicts_emitted=3,
+        events_simulated=50,
+        alpha_state=(("comp1", 2.0),),
+        trust_state=(("comp1", 0.5),),
+    )
+    run = RunOutcome(
+        value=SimpleNamespace(plan_digest="e" * 64, obs_counters=None),
+        results=(
+            ReplicaResult(
+                index=0, value=outcome, events=50, elapsed_s=0.1, worker="serial"
+            ),
+        ),
+        metrics=None,
+        failures=(),
+    )
+    return write_run(
+        root,
+        run,
+        root_seed=seed,
+        spec_digest=SPEC_DIGEST,
+        meta={"campaign_id": campaign, "format": "json"},
+    )
+
+
+# -- table-file corruption --------------------------------------------------
+
+
+def test_truncated_table_is_a_config_error(tmp_path):
+    part_dir = _synthetic_part(tmp_path)
+    table_path = part_dir / "replicas.json"
+    table_path.write_bytes(table_path.read_bytes()[: 10])
+    part = CampaignStore(tmp_path).parts()[0]
+    with pytest.raises(ConfigurationError, match="checksum mismatch"):
+        part.table("replicas")
+
+
+def test_bit_flip_is_a_config_error(tmp_path):
+    part_dir = _synthetic_part(tmp_path)
+    table_path = part_dir / "mechanisms.json"
+    blob = bytearray(table_path.read_bytes())
+    blob[len(blob) // 2] ^= 0x40
+    table_path.write_bytes(bytes(blob))
+    part = CampaignStore(tmp_path).parts()[0]
+    with pytest.raises(ConfigurationError, match=r"checksum mismatch"):
+        part.table("mechanisms")
+
+
+def test_missing_table_file_is_a_config_error(tmp_path):
+    part_dir = _synthetic_part(tmp_path)
+    (part_dir / "alpha_state.json").unlink()
+    part = CampaignStore(tmp_path).parts()[0]
+    with pytest.raises(ConfigurationError, match="missing"):
+        part.table("alpha_state")
+
+
+def test_unparseable_table_with_matching_checksum(tmp_path):
+    """Even a checksum-valid file must fail cleanly if it won't parse."""
+    from repro.storage.backend import file_sha256
+
+    part_dir = _synthetic_part(tmp_path)
+    table_path = part_dir / "counters.json"
+    table_path.write_text("this is not json{", encoding="utf-8")
+    manifest_path = part_dir / "manifest.json"
+    manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+    manifest["files"]["counters"]["sha256"] = file_sha256(table_path)
+    manifest_path.write_text(json.dumps(manifest), encoding="utf-8")
+    part = CampaignStore(tmp_path).parts()[0]
+    with pytest.raises(ConfigurationError):
+        part.table("counters")
+
+
+# -- manifest corruption and version skew ----------------------------------
+
+
+def _edit_manifest(part_dir: Path, **changes) -> None:
+    manifest_path = part_dir / "manifest.json"
+    manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+    manifest.update(changes)
+    manifest_path.write_text(json.dumps(manifest), encoding="utf-8")
+
+
+def test_bumped_schema_version_is_a_config_error(tmp_path):
+    part_dir = _synthetic_part(tmp_path)
+    _edit_manifest(part_dir, schema_version=99)
+    with pytest.raises(ConfigurationError, match="schema version 99"):
+        CampaignStore(tmp_path).parts()
+
+
+def test_unknown_kind_is_a_config_error(tmp_path):
+    part_dir = _synthetic_part(tmp_path)
+    _edit_manifest(part_dir, kind="exotic")
+    with pytest.raises(ConfigurationError, match="unknown kind"):
+        CampaignStore(tmp_path).parts()
+
+
+def test_unreadable_manifest_is_a_config_error(tmp_path):
+    part_dir = _synthetic_part(tmp_path)
+    (part_dir / "manifest.json").write_text("{{{", encoding="utf-8")
+    with pytest.raises(ConfigurationError, match="unreadable manifest"):
+        CampaignStore(tmp_path).parts()
+
+
+def test_manifest_missing_table_entry_is_a_config_error(tmp_path):
+    part_dir = _synthetic_part(tmp_path)
+    manifest_path = part_dir / "manifest.json"
+    manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+    del manifest["files"]["plan_events"]
+    manifest_path.write_text(json.dumps(manifest), encoding="utf-8")
+    with pytest.raises(ConfigurationError, match="plan_events"):
+        CampaignStore(tmp_path).parts()
+
+
+def test_missing_store_root_is_a_config_error(tmp_path):
+    with pytest.raises(ConfigurationError, match="does not exist"):
+        CampaignStore(tmp_path / "nope")
+
+
+def test_tolerant_scan_skips_and_reports(tmp_path):
+    """One healthy part + one version-skewed part: scan drops one."""
+    _synthetic_part(tmp_path, campaign="ok")
+    bad_dir = _synthetic_part(tmp_path, campaign="bad", seed=8)
+    _edit_manifest(bad_dir, schema_version=99)
+    store = CampaignStore(tmp_path)
+    with pytest.raises(ConfigurationError):
+        store.parts()
+    parts = store.parts(tolerant=True)
+    assert [p.campaign_id for p in parts] == ["ok"]
+    report = store.scan_report()
+    assert report["parts"] == 1
+    assert report["skipped"] == 1
+    assert "schema version" in report["skipped_parts"][0]["error"]
+
+
+# -- resume-then-store ≡ uninterrupted-store -------------------------------
+
+
+def _comparable_tables(part) -> dict:
+    """All stored columns minus the declared volatile ones."""
+    out = {}
+    for name in tables_for_kind(part.kind):
+        columns = dict(part.table(name))
+        for volatile in VOLATILE_COLUMNS.get(name, ()):
+            columns.pop(volatile, None)
+        out[name] = columns
+    return out
+
+
+def test_resume_then_store_equals_uninterrupted_store(tmp_path):
+    """A resumed run stores the identical part (modulo wall/worker)."""
+    spec = CampaignReplicaSpec(expected_faults=3.0, horizon_us=ms(250))
+    kwargs = dict(root_seed=21, spec=spec, workers=1, chunk_size=2)
+    plain_root = tmp_path / "plain"
+    resumed_root = tmp_path / "resumed"
+    ledger = str(tmp_path / "ledger.jsonl")
+
+    plain = run_random_campaigns(
+        4,
+        store=str(plain_root),
+        store_meta={"campaign_id": "c1", "format": "json"},
+        **kwargs,
+    )
+    run_random_campaigns(4, checkpoint=ledger, **kwargs)
+    resumed = run_random_campaigns(
+        4,
+        checkpoint=ledger,
+        resume=True,
+        store=str(resumed_root),
+        store_meta={"campaign_id": "c1", "format": "json"},
+        **kwargs,
+    )
+    assert resumed.value == plain.value
+    assert resumed.metrics.replicas_resumed == 4
+
+    plain_part = CampaignStore(plain_root).parts()[0]
+    resumed_part = CampaignStore(resumed_root).parts()[0]
+    # Same run identity -> same partition and part directory names.
+    assert plain_part.path.relative_to(plain_root) == resumed_part.path.relative_to(
+        resumed_root
+    )
+    assert _comparable_tables(resumed_part) == _comparable_tables(plain_part)
+
+
+def test_rewriting_a_part_is_idempotent(tmp_path):
+    """Storing the same run twice leaves exactly one identical part."""
+    first = _synthetic_part(tmp_path)
+    second = _synthetic_part(tmp_path)
+    assert first == second
+    store = CampaignStore(tmp_path)
+    assert len(store.part_dirs()) == 1
+    part = store.parts()[0]
+    for name in tables_for_kind(part.kind):
+        assert sorted(part.table(name)) == sorted(TABLES[name])

@@ -1,0 +1,227 @@
+"""``repro query`` CLI tests, including the sim-free import guarantee.
+
+The acceptance property of the query path is that it answers from the
+stored columns alone: a subprocess runs the real ``python -m repro
+query`` entry point against a populated store and then asserts that none
+of the simulator modules ever entered ``sys.modules``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+from types import SimpleNamespace
+
+import pytest
+
+from repro.__main__ import main
+from repro.faults.campaign import CampaignReplicaOutcome
+from repro.runtime.runner import ReplicaResult, RunOutcome
+from repro.storage import write_run
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+#: Simulation stack — importing any of these during a query is a bug.
+FORBIDDEN_MODULES = (
+    "repro.sim.engine",
+    "repro.presets",
+    "repro.components.cluster",
+    "repro.faults.injector",
+    "repro.diagnosis.diag_das",
+)
+
+
+def _populate(root: Path, campaigns=("c001", "c002")) -> None:
+    for i, campaign in enumerate(campaigns):
+        outcome = CampaignReplicaOutcome(
+            index=0,
+            plan_events=(("seu", "comp1", 100),),
+            injected_by_mechanism=(("seu", 1),),
+            attributed_by_mechanism=(("seu", 1),) if i % 2 == 0 else (),
+            faults_injected=1,
+            faults_attributed=1 if i % 2 == 0 else 0,
+            verdicts_emitted=2,
+            events_simulated=40,
+            alpha_state=(("comp1", 1.5),),
+            trust_state=(("comp1", 0.75),),
+        )
+        run = RunOutcome(
+            value=SimpleNamespace(plan_digest=f"{i:x}" * 64, obs_counters=None),
+            results=(
+                ReplicaResult(
+                    index=0,
+                    value=outcome,
+                    events=40,
+                    elapsed_s=0.1,
+                    worker="serial",
+                ),
+            ),
+            metrics=None,
+            failures=(),
+        )
+        write_run(
+            root,
+            run,
+            root_seed=3 + i,
+            spec_digest=f"{i:x}" * 64,
+            meta={"campaign_id": campaign, "format": "json"},
+        )
+
+
+def test_query_subprocess_never_imports_the_simulator(tmp_path):
+    """End-to-end ``python -m repro query report`` on a bare interpreter."""
+    _populate(tmp_path)
+    script = (
+        "import runpy, sys\n"
+        f"sys.argv = ['repro', 'query', 'report', '--store', {str(tmp_path)!r}]\n"
+        "try:\n"
+        "    runpy.run_module('repro.__main__', run_name='__main__')\n"
+        "except SystemExit as exc:\n"
+        "    assert exc.code in (0, None), f'exit {exc.code}'\n"
+        f"loaded = [m for m in sys.modules if m in {FORBIDDEN_MODULES!r}]\n"
+        "assert not loaded, f'simulator imported during query: {loaded}'\n"
+        "print('SIM-FREE-OK')\n"
+    )
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + os.pathsep + env.get(
+        "PYTHONPATH", ""
+    )
+    proc = subprocess.run(
+        [sys.executable, "-c", script],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=REPO_ROOT,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "SIM-FREE-OK" in proc.stdout
+    assert "stored campaigns" in proc.stdout
+
+
+def test_query_report_prints_sections(tmp_path, capsys):
+    _populate(tmp_path)
+    assert main(["query", "report", "--store", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "stored campaigns" in out
+    assert "attribution by mechanism" in out
+    assert "accuracy drift across campaigns" in out
+
+
+@pytest.mark.parametrize(
+    ("what", "probe"),
+    [
+        ("campaigns", "faults_injected"),
+        ("nff", "nff_ratio"),
+        ("confusion", "mechanism"),
+        ("drift", "drift"),
+        ("latency", None),
+        ("scan", "skipped"),
+    ],
+)
+def test_query_json_views_are_parseable(tmp_path, capsys, what, probe):
+    _populate(tmp_path)
+    assert main(["query", what, "--store", str(tmp_path)]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    if probe is not None:
+        assert probe in json.dumps(payload)
+
+
+def test_query_campaign_filter(tmp_path, capsys):
+    _populate(tmp_path)
+    assert main(
+        ["query", "nff", "--store", str(tmp_path), "--campaign", "c002"]
+    ) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload == {
+        "faults_injected": 1,
+        "faults_attributed": 0,
+        "nff_ratio": 1.0,
+    }
+
+
+def test_query_without_store_is_usage_error(capsys):
+    assert main(["query", "report"]) == 2
+    assert "--store" in capsys.readouterr().err
+
+
+def test_query_missing_store_dir_fails_cleanly(tmp_path, capsys):
+    assert main(["query", "report", "--store", str(tmp_path / "nope")]) == 1
+    err = capsys.readouterr().err
+    assert "does not exist" in err
+
+
+def test_query_empty_store_fails_cleanly(tmp_path, capsys):
+    assert main(["query", "report", "--store", str(tmp_path)]) == 1
+    assert "no campaign parts" in capsys.readouterr().err
+
+
+def test_store_bad_campaign_id_fails_fast(tmp_path, capsys):
+    """An unusable store target is rejected before any simulation."""
+    rc = main(
+        [
+            "--store",
+            str(tmp_path / "s"),
+            "--campaign-id",
+            "../evil",
+            "mc",
+            "--replicas",
+            "1",
+        ]
+    )
+    assert rc == 1
+    err = capsys.readouterr().err
+    assert "store setup failed" in err
+    assert not (tmp_path / "s").exists()
+
+
+@pytest.mark.skipif(
+    __import__("repro.storage", fromlist=["parquet_available"]).parquet_available(),
+    reason="pyarrow is installed",
+)
+def test_store_format_parquet_without_pyarrow_fails_fast(tmp_path, capsys):
+    rc = main(
+        [
+            "--store",
+            str(tmp_path / "s"),
+            "--store-format",
+            "parquet",
+            "mc",
+            "--replicas",
+            "1",
+        ]
+    )
+    assert rc == 1
+    assert "pyarrow" in capsys.readouterr().err
+
+
+def test_mc_store_cli_writes_a_queryable_part(tmp_path, capsys):
+    """The write path end to end: ``mc --store`` then ``query nff``."""
+    store = tmp_path / "store"
+    rc = main(
+        [
+            "--seed",
+            "11",
+            "--store",
+            str(store),
+            "--campaign-id",
+            "cli-test",
+            "--store-format",
+            "json",
+            "mc",
+            "--replicas",
+            "2",
+            "--horizon-ms",
+            "250",
+        ]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "columnar store part written" in out
+    assert main(["query", "campaigns", "--store", str(store)]) == 0
+    rows = json.loads(capsys.readouterr().out)
+    assert len(rows) == 1
+    assert rows[0]["campaign"] == "cli-test"
+    assert rows[0]["replicas"] == 2

@@ -1,0 +1,275 @@
+"""Store-vs-reduce differential battery.
+
+``repro query`` promises that aggregates computed from the *stored*
+columns — NFF ratio, the per-mechanism confusion table, the provenance
+stage-latency percentiles — are exactly equal to the same aggregates
+derived from the in-memory :class:`CampaignSummary` reduce that wrote
+the part.  This battery runs identical campaigns through the serial
+path, the process pool (``workers=4``) and the replica-batched backend,
+stores each run, and fails on any divergence between the store-backed
+query answer and the in-memory answer.
+
+The hypothesis block is ``derandomize=True``: a fixed, replayable fuzz
+corpus, same convention as ``tests/integration
+/test_backend_differential.py``.  The report renderer is pinned
+byte-for-byte by ``tests/data/golden_query_report.txt`` (regeneration
+recipe in :func:`regenerate`).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.faults.campaign import CampaignReplicaSpec
+from repro.obs.provenance import histogram_quantile
+from repro.runtime.workloads import run_random_campaigns
+from repro.storage import CampaignStore
+from repro.storage.query import (
+    STAGE_LATENCY_PREFIX,
+    accuracy_drift,
+    campaign_summaries,
+    confusion,
+    nff_ratio,
+    render_query_report,
+    stage_latency,
+)
+from repro.units import ms
+
+GOLDEN_PATH = Path(__file__).resolve().parents[1] / "data" / "golden_query_report.txt"
+
+FULL_OBS_SPEC = CampaignReplicaSpec(
+    expected_faults=3.0,
+    horizon_us=ms(300),
+    obs_enabled=True,
+    obs_provenance=True,
+)
+
+#: The golden corpus: three campaigns, fixed seeds, provenance on.
+GOLDEN_SPEC = CampaignReplicaSpec(
+    expected_faults=3.0,
+    horizon_us=ms(250),
+    obs_enabled=True,
+    obs_provenance=True,
+)
+GOLDEN_CAMPAIGNS = (("c001", 101), ("c002", 102), ("c003", 103))
+
+
+def _store_run(
+    root,
+    *,
+    workers=1,
+    backend="scalar",
+    seed=11,
+    replicas=6,
+    chunk=2,
+    campaign="c1",
+    spec=FULL_OBS_SPEC,
+):
+    return run_random_campaigns(
+        replicas,
+        root_seed=seed,
+        spec=spec,
+        workers=workers,
+        chunk_size=chunk,
+        backend=backend,
+        store=str(root),
+        store_meta={"campaign_id": campaign, "format": "json"},
+    )
+
+
+def _expected_from_summary(summary) -> dict:
+    """The in-memory reduce's answers, shaped like the query module's."""
+    injected = summary.faults_injected
+    attributed = summary.faults_attributed
+    attributed_by = dict(summary.attributed_by_mechanism)
+    return {
+        "nff": {
+            "faults_injected": injected,
+            "faults_attributed": attributed,
+            "nff_ratio": (injected - attributed) / injected if injected else 0.0,
+        },
+        "confusion": [
+            {
+                "mechanism": mechanism,
+                "injected": count,
+                "attributed": attributed_by.get(mechanism, 0),
+                "accuracy": (
+                    attributed_by.get(mechanism, 0) / count if count else 0.0
+                ),
+            }
+            for mechanism, count in sorted(summary.injected_by_mechanism)
+        ],
+    }
+
+
+def _expected_latency(summary) -> list[dict]:
+    """Stage percentiles straight from the reduce's merged histograms."""
+    rows = []
+    histograms = (summary.obs_counters or {}).get("histograms", {})
+    for key in sorted(histograms):
+        if not key.startswith(STAGE_LATENCY_PREFIX):
+            continue
+        data = histograms[key]
+        labels = dict(
+            item.split("=", 1)
+            for item in key[len(STAGE_LATENCY_PREFIX) : -1].split(",")
+        )
+        rows.append(
+            {
+                "cls": labels.get("cls", "?"),
+                "stage": labels.get("stage", "?"),
+                "count": data["count"],
+                "p50_us": histogram_quantile(data, 0.5),
+                "p90_us": histogram_quantile(data, 0.9),
+                "mean_us": data["sum"] / data["count"] if data["count"] else 0.0,
+            }
+        )
+    return rows
+
+
+def _assert_store_equals_reduce(store: CampaignStore, summary) -> None:
+    expected = _expected_from_summary(summary)
+    assert nff_ratio(store) == expected["nff"]
+    assert confusion(store) == expected["confusion"]
+    assert stage_latency(store) == _expected_latency(summary)
+    rows = campaign_summaries(store)
+    assert len(rows) == 1
+    assert rows[0]["faults_injected"] == summary.faults_injected
+    assert rows[0]["faults_attributed"] == summary.faults_attributed
+    assert rows[0]["events_simulated"] == summary.events_simulated
+    assert rows[0]["verdicts_emitted"] == summary.verdicts_emitted
+    assert rows[0]["replicas"] == summary.replicas
+    assert rows[0]["complete"] is True
+
+
+# -- deterministic battery: serial, pooled, batched ------------------------
+
+
+@pytest.mark.parametrize(
+    ("workers", "backend"),
+    [(1, "scalar"), (4, "scalar"), (1, "batched")],
+    ids=["serial", "workers4", "batched"],
+)
+def test_store_aggregates_equal_reduce(tmp_path, workers, backend):
+    """Stored-column aggregates ≡ the in-memory reduce, per backend."""
+    outcome = _store_run(tmp_path, workers=workers, backend=backend)
+    store = CampaignStore(tmp_path)
+    _assert_store_equals_reduce(store, outcome.value)
+
+
+def test_all_backends_store_identical_aggregates(tmp_path):
+    """Three stores of the same campaign answer queries identically."""
+    answers = []
+    for name, kwargs in (
+        ("serial", {}),
+        ("workers4", {"workers": 4}),
+        ("batched", {"backend": "batched"}),
+    ):
+        root = tmp_path / name
+        _store_run(root, replicas=4, **kwargs)
+        store = CampaignStore(root)
+        answers.append(
+            (nff_ratio(store), confusion(store), stage_latency(store))
+        )
+    assert answers[0] == answers[1] == answers[2]
+
+
+def test_accuracy_drift_across_stored_campaigns(tmp_path):
+    """The cross-campaign question: drift from stored parts only."""
+    summaries = {}
+    for campaign, seed in GOLDEN_CAMPAIGNS:
+        outcome = _store_run(
+            tmp_path,
+            seed=seed,
+            replicas=3,
+            campaign=campaign,
+            spec=GOLDEN_SPEC,
+        )
+        summaries[campaign] = outcome.value
+    rows = accuracy_drift(CampaignStore(tmp_path))
+    assert [row["campaign"] for row in rows] == [c for c, _ in GOLDEN_CAMPAIGNS]
+    previous = None
+    for row in rows:
+        summary = summaries[row["campaign"]]
+        assert row["faults_injected"] == summary.faults_injected
+        assert row["faults_attributed"] == summary.faults_attributed
+        assert row["accuracy"] == summary.attribution_accuracy
+        expected_drift = (
+            0.0
+            if previous is None
+            else summary.attribution_accuracy - previous
+        )
+        assert row["drift"] == expected_drift
+        previous = summary.attribution_accuracy
+
+
+# -- fixed-corpus fuzz ------------------------------------------------------
+
+
+@settings(max_examples=6, deadline=None, derandomize=True)
+@given(
+    seed=st.integers(min_value=0, max_value=2**16),
+    replicas=st.integers(min_value=1, max_value=4),
+    chunk=st.sampled_from((1, 3, 8)),
+    expected_faults=st.sampled_from((1.5, 3.0, 5.0)),
+    obs=st.booleans(),
+)
+def test_fuzz_store_equals_reduce(
+    tmp_path_factory, seed, replicas, chunk, expected_faults, obs
+):
+    """Random campaigns: stored aggregates always equal the reduce."""
+    spec = CampaignReplicaSpec(
+        expected_faults=expected_faults,
+        horizon_us=ms(250),
+        obs_enabled=obs,
+        obs_provenance=obs,
+    )
+    root = tmp_path_factory.mktemp("fuzz-store")
+    outcome = _store_run(
+        root, seed=seed, replicas=replicas, chunk=chunk, spec=spec
+    )
+    _assert_store_equals_reduce(CampaignStore(root), outcome.value)
+
+
+# -- byte-stable golden report ---------------------------------------------
+
+
+def _populate_golden(root) -> None:
+    for campaign, seed in GOLDEN_CAMPAIGNS:
+        _store_run(
+            root,
+            seed=seed,
+            replicas=3,
+            campaign=campaign,
+            spec=GOLDEN_SPEC,
+        )
+
+
+def test_query_report_matches_golden(tmp_path):
+    """``repro query report`` output is byte-stable across runs/hosts.
+
+    The report deliberately contains no wall-clock values or paths, so
+    the golden pins renderer *and* stored-aggregate semantics at once.
+    """
+    _populate_golden(tmp_path)
+    report = render_query_report(CampaignStore(tmp_path))
+    assert report == GOLDEN_PATH.read_text(encoding="utf-8")
+
+
+def regenerate() -> None:
+    """Regenerate the golden after a *deliberate* semantic change::
+
+        PYTHONPATH=src python -c \\
+          "from tests.storage.test_store_differential import regenerate; regenerate()"
+    """
+    import tempfile
+
+    with tempfile.TemporaryDirectory() as tmp:
+        _populate_golden(Path(tmp))
+        report = render_query_report(CampaignStore(tmp))
+    GOLDEN_PATH.write_text(report, encoding="utf-8")
+    print(f"regenerated {GOLDEN_PATH}: {len(report.splitlines())} lines")

@@ -635,6 +635,68 @@ def cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_whatif(args: argparse.Namespace) -> int:
+    """Counterfactual replay of a stored campaign (docs/replay.md)."""
+    import json
+
+    from repro.errors import ConfigurationError
+    from repro.replay import (
+        load_baseline,
+        render_scan_report,
+        render_whatif_report,
+        scan,
+        scan_to_dict,
+        whatif,
+        whatif_to_dict,
+    )
+
+    without_faults = tuple(args.without_fault or ())
+    without_onas = tuple(args.without_ona or ())
+    if args.scan is None and not without_faults and not without_onas:
+        print(
+            "whatif needs a rewrite: give --without-fault SELECTOR and/or "
+            "--without-ona CLASS, or sweep with --scan {faults,onas}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.scan is not None and (without_faults or without_onas):
+        print(
+            "--scan sweeps every cause on its own; drop the explicit "
+            "--without-fault/--without-ona rewrites",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        baseline = load_baseline(args.baseline, campaign=args.campaign)
+        if args.scan is not None:
+            result = scan(
+                baseline,
+                mode=args.scan,
+                workers=args.workers,
+                backend=args.backend,
+            )
+            if args.json:
+                print(json.dumps(scan_to_dict(result), sort_keys=True))
+            else:
+                print(render_scan_report(result), end="")
+        else:
+            result = whatif(
+                baseline,
+                suppress_faults=without_faults,
+                disable_onas=without_onas,
+                workers=args.workers,
+                backend=args.backend,
+            )
+            if args.json:
+                print(json.dumps(whatif_to_dict(result), sort_keys=True))
+            else:
+                print(render_whatif_report(result), end="")
+    except ConfigurationError as exc:
+        print(f"whatif failed: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
 #: Parser defaults of the options ``resume`` may override; a post-
 #: ``resume`` flag wins over the recorded invocation only when it
 #: differs from the default (the seed is deliberately NOT overridable —
@@ -944,6 +1006,48 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="restrict to one campaign id (drift always spans all)",
     )
+    whatif_cmd = add_command(
+        "whatif", "counterfactual replay of a stored mc campaign"
+    )
+    whatif_cmd.add_argument(
+        "baseline",
+        help=(
+            "campaign baseline: a checkpoint ledger file or a columnar "
+            "store directory"
+        ),
+    )
+    whatif_cmd.add_argument(
+        "--without-fault",
+        action="append",
+        metavar="SELECTOR",
+        help=(
+            "suppress matching fault injections and replay "
+            "([rN:]mechanism[@target[@at_us]]; repeatable)"
+        ),
+    )
+    whatif_cmd.add_argument(
+        "--without-ona",
+        action="append",
+        metavar="CLASS",
+        help="disable one ONA assertion class and replay (repeatable)",
+    )
+    whatif_cmd.add_argument(
+        "--scan",
+        choices=["faults", "onas"],
+        default=None,
+        help=(
+            "sweep every removable cause of that kind instead, ranking "
+            "them by marginal diagnostic value"
+        ),
+    )
+    whatif_cmd.add_argument(
+        "--campaign",
+        default=None,
+        help="store campaign id when the store holds several mc parts",
+    )
+    whatif_cmd.add_argument(
+        "--json", action="store_true", help="machine-readable JSON output"
+    )
     args = parser.parse_args(argv)
     commands = {
         "demo": cmd_demo,
@@ -957,6 +1061,7 @@ def main(argv: list[str] | None = None) -> int:
         "explain": cmd_explain,
         "resume": cmd_resume,
         "query": cmd_query,
+        "whatif": cmd_whatif,
     }
     if args.command is None:
         parser.print_help()
@@ -975,7 +1080,14 @@ def main(argv: list[str] | None = None) -> int:
         except ConfigurationError as exc:
             print(f"store setup failed: {exc}", file=sys.stderr)
             return 1
-    if args.command in ("obs", "mc", "explain", "resume", "query") or not (
+    if args.command in (
+        "obs",
+        "mc",
+        "explain",
+        "resume",
+        "query",
+        "whatif",
+    ) or not (
         getattr(args, "trace", None) or getattr(args, "profile", False)
     ):
         return commands[args.command](args)

@@ -23,6 +23,21 @@ def fmt(value, precision: int = 3) -> str:
     return str(value)
 
 
+def fmt_signed(value, precision: int = 3) -> str:
+    """Delta formatting: explicit sign, ``0`` for no change.
+
+    Diff-style reports (``repro whatif``) print baseline/counterfactual
+    deltas; an explicit ``+`` distinguishes "went up" from a plain count
+    at a glance.
+    """
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        if value == 0:
+            return "0"
+        sign = "+" if value > 0 else ""
+        return f"{sign}{fmt(value, precision)}"
+    return fmt(value, precision)
+
+
 def render_table(
     headers: Sequence[str],
     rows: Iterable[Sequence],

@@ -19,7 +19,7 @@ import heapq
 import math
 from abc import ABC, abstractmethod
 from collections import Counter, defaultdict
-from collections.abc import Mapping
+from collections.abc import Iterable, Mapping
 from dataclasses import dataclass, field
 
 from repro.core.fault_model import (
@@ -844,6 +844,33 @@ def default_onas() -> list[OutOfNormAssertion]:
         ConfigurationOna(),
         TimingOna(),
     ]
+
+
+def ona_names() -> tuple[str, ...]:
+    """Names of the standard ONA battery, in deployment order."""
+    return tuple(ona.name for ona in default_onas())
+
+
+def onas_without(disabled: Iterable[str]) -> list[OutOfNormAssertion]:
+    """The standard battery minus the named assertions.
+
+    The counterfactual replay engine uses this to answer "what would the
+    verdicts have been without ONA class X" — the remaining assertions
+    keep their deployment order.  Unknown names are a
+    :class:`~repro.errors.ConfigurationError` (typos must not silently
+    yield the full battery).
+    """
+    from repro.errors import ConfigurationError
+
+    wanted = set(disabled)
+    known = set(ona_names())
+    unknown = sorted(wanted - known)
+    if unknown:
+        raise ConfigurationError(
+            f"unknown ONA class(es) {', '.join(unknown)}; "
+            f"known: {', '.join(sorted(known))}"
+        )
+    return [ona for ona in default_onas() if ona.name not in wanted]
 
 
 # -- helpers -----------------------------------------------------------------

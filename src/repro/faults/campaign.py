@@ -24,6 +24,7 @@ import numpy as np
 from repro.core.fault_model import FaultDescriptor
 from repro.errors import AnalysisError, FaultInjectionError
 from repro.faults.injector import FaultInjector
+from repro.faults.suppress import FaultSelector, event_suppressed
 from repro.obs.counters import CounterRegistry
 from repro.units import ms, seconds
 
@@ -67,6 +68,12 @@ class RandomCampaign:
         Mechanism weights; defaults to :data:`DEFAULT_MIX`.
     sensor_jobs / software_jobs / config_ports:
         Eligible targets for the job-level mechanisms.
+    suppress:
+        Counterfactual suppression selectors (already filtered to this
+        replica, see :mod:`repro.faults.suppress`).  Matched events are
+        sampled exactly as usual — consuming the same RNG draws, FRU
+        collision slots and fault ids — but their effects are discarded,
+        so the rest of the campaign stays bit-identical.
     """
 
     injector: FaultInjector
@@ -76,10 +83,12 @@ class RandomCampaign:
     sensor_jobs: tuple[str, ...] = ()
     software_jobs: tuple[str, ...] = ()
     config_ports: tuple[tuple[str, str], ...] = ()  # (job, event port)
+    suppress: tuple[FaultSelector, ...] = ()
 
     def run(self, rng: np.random.Generator) -> CampaignPlan:
-        """Sample the campaign and schedule every fault."""
+        """Sample the campaign and schedule every non-suppressed fault."""
         cluster = self.injector.cluster
+        injector = self.injector
         mechanisms = list(self.mix)
         weights = np.asarray([self.mix[m] for m in mechanisms], dtype=float)
         weights /= weights.sum()
@@ -93,24 +102,50 @@ class RandomCampaign:
 
         used_mechanisms: set[str] = set()
         attempts = 0
-        while len(events) < count and attempts < 20 * max(count, 1):
+        # `sampled` counts successful injections *including suppressed
+        # ones*, so suppression never extends the loop and every later
+        # draw lands on the same RNG state as the baseline campaign.
+        sampled = 0
+        while sampled < count and attempts < 20 * max(count, 1):
             attempts += 1
             mechanism = mechanisms[int(rng.choice(len(mechanisms), p=weights))]
             at_us = int(
                 rng.uniform(0.05 * self.horizon_us, 0.8 * self.horizon_us)
             )
-            descriptor = self._try_inject(
-                mechanism,
-                at_us,
-                rng,
-                components,
-                used_components,
-                used_jobs,
-                used_mechanisms,
-            )
+            # Every injection runs in a deferred-effects section — one
+            # uniform code path, so "no selector matched" is the baseline
+            # by construction, not by a separate branch.
+            injector.begin_deferred()
+            try:
+                descriptor = self._try_inject(
+                    mechanism,
+                    at_us,
+                    rng,
+                    components,
+                    used_components,
+                    used_jobs,
+                    used_mechanisms,
+                )
+            except BaseException:
+                # Immediate mode would have applied the effects scheduled
+                # before the raise; replay them before propagating.
+                injector.commit_deferred()
+                raise
             if descriptor is None:
+                # Failed attempts can still have pending effects (an EMI
+                # burst schedules its zone before discovering it covers
+                # no component) — commit to match immediate mode.
+                injector.commit_deferred()
                 continue
-            events.append((mechanism, str(descriptor.fru), at_us))
+            sampled += 1
+            target = str(descriptor.fru)
+            if self.suppress and event_suppressed(
+                self.suppress, mechanism, target, at_us
+            ):
+                injector.discard_deferred()
+                continue
+            injector.commit_deferred()
+            events.append((mechanism, target, at_us))
             descriptors.append(descriptor)
         return CampaignPlan(tuple(events), tuple(descriptors))
 
@@ -271,6 +306,14 @@ class CampaignReplicaSpec:
     obs_enabled: bool = False
     obs_trace: bool = False
     obs_provenance: bool = False
+    # Counterfactual rewrites (repro whatif).  `suppress_faults` carries
+    # selector strings ([rN:]mechanism[@target[@at_us]], see
+    # repro.faults.suppress); matched events are sampled but their
+    # effects discarded.  `disable_onas` names ONA classes left out of
+    # the diagnostic assessment.  Both default empty, so a baseline
+    # spec's digest is a pure function of the campaign parameters.
+    suppress_faults: tuple[str, ...] = ()
+    disable_onas: tuple[str, ...] = ()
 
 
 @dataclass(frozen=True, slots=True)

@@ -70,6 +70,42 @@ class FaultInjector:
         self.rng = cluster.rng.stream("faults.injector")
         self.injected: list[FaultDescriptor] = []
         self._ids = itertools.count(1)
+        #: Open deferred-effects section, or None (immediate mode).
+        self._deferred: list[Callable[[], None]] | None = None
+
+    # -- deferred-effects section ------------------------------------------
+    #
+    # The counterfactual replay engine suppresses individual campaign
+    # events without perturbing anything else.  To keep a suppressed
+    # injection side-effect free while preserving every RNG draw and the
+    # fault-id sequence, an inject_* call can run inside a *deferred
+    # section*: all sim scheduling (everything funnels through ``_at``)
+    # and all ledger/trace/provenance registration are captured as
+    # closures instead of applied.  ``commit_deferred`` then replays them
+    # in original order — byte-identical to immediate mode — while
+    # ``discard_deferred`` drops them, leaving only the consumed fault id
+    # behind so later descriptors keep their baseline ids.
+
+    def begin_deferred(self) -> None:
+        """Open a deferred-effects section (no nesting)."""
+        if self._deferred is not None:
+            raise FaultInjectionError("deferred section already open")
+        self._deferred = []
+
+    def commit_deferred(self) -> None:
+        """Apply the pending effects in original order and close."""
+        pending = self._deferred
+        if pending is None:
+            raise FaultInjectionError("no deferred section open")
+        self._deferred = None
+        for effect in pending:
+            effect()
+
+    def discard_deferred(self) -> None:
+        """Drop the pending effects (the suppressed-fault path)."""
+        if self._deferred is None:
+            raise FaultInjectionError("no deferred section open")
+        self._deferred = None
 
     # -- bookkeeping -------------------------------------------------------
 
@@ -83,6 +119,9 @@ class FaultInjector:
         activation_us: int,
         **extra: Any,
     ) -> FaultDescriptor:
+        # The descriptor — and its id draw — are always eager, so a
+        # deferred-then-discarded injection still consumes its fault id
+        # and every later fault keeps its baseline numbering.
         descriptor = FaultDescriptor(
             fault_id=f"F{next(self._ids):04d}",
             fault_class=fault_class,
@@ -92,14 +131,27 @@ class FaultInjector:
             mechanism=mechanism,
             activation_us=int(activation_us),
         )
+        if self._deferred is not None:
+            self._deferred.append(
+                lambda: self._commit_registration(descriptor, extra)
+            )
+        else:
+            self._commit_registration(descriptor, extra)
+        return descriptor
+
+    def _commit_registration(
+        self, descriptor: FaultDescriptor, extra: Mapping[str, Any]
+    ) -> None:
+        fru = descriptor.fru
+        activation_us = descriptor.activation_us
         self.injected.append(descriptor)
         self.cluster.trace.record(
             activation_us if activation_us >= self.cluster.now else self.cluster.now,
             "fault.injected",
             str(fru),
             fault_id=descriptor.fault_id,
-            fault_class=fault_class.value,
-            mechanism=mechanism,
+            fault_class=descriptor.fault_class.value,
+            mechanism=descriptor.mechanism,
             **extra,
         )
         obs = _obs.ACTIVE
@@ -122,16 +174,21 @@ class FaultInjector:
                     (),
                     fault_id=descriptor.fault_id,
                     fru=str(fru),
-                    cls=fault_class.value,
-                    mechanism=mechanism,
+                    cls=descriptor.fault_class.value,
+                    mechanism=descriptor.mechanism,
                 )
-        return descriptor
 
     def ground_truth(self) -> dict[str, FaultDescriptor]:
         """Ledger of every injected fault by id."""
         return {d.fault_id: d for d in self.injected}
 
     def _at(self, at_us: int, action: Callable[[], None]) -> None:
+        if self._deferred is not None:
+            self._deferred.append(lambda: self._schedule_at(at_us, action))
+        else:
+            self._schedule_at(at_us, action)
+
+    def _schedule_at(self, at_us: int, action: Callable[[], None]) -> None:
         self.cluster.sim.schedule_at(
             int(at_us), lambda _sim: action(), priority=PRIORITY_FAULT
         )

@@ -1,0 +1,170 @@
+"""Fault-plan suppression selectors — the rewrite half of ``repro whatif``.
+
+A :class:`FaultSelector` names a set of injected fault events by
+mechanism, optionally narrowed to one target FRU, one activation time
+and one replica.  The counterfactual replay engine
+(:mod:`repro.replay`) carries selectors as plain strings inside
+:class:`~repro.faults.campaign.CampaignReplicaSpec.suppress_faults`, so
+they ride through spec digests, checkpoint headers and spawn workers
+unchanged.
+
+Selector grammar (``str(selector)`` round-trips)::
+
+    [rREPLICA:]MECHANISM[@TARGET[@AT_US]]
+
+    seu                          every single-event upset, all replicas
+    connector@component:comp3    connector faults on comp3
+    r4:seu@component:comp2@51384 one exact fault instance in replica 4
+
+``TARGET`` is the plan-event target string, i.e. ``str(descriptor.fru)``
+(``component:comp2``, ``job:A1``, ``component:loom-channel-0``).
+
+Suppression semantics — the identity contract
+---------------------------------------------
+Suppressing a fault must NOT perturb the rest of the plan: the
+remaining events, every descriptor and every downstream RNG draw stay
+bit-identical to the un-suppressed campaign.
+:meth:`repro.faults.campaign.RandomCampaign.run` therefore samples
+*every* event exactly as before — the full mechanism/target/time draw
+sequence, including the injector-stream draws for recurring-transient
+and wearout arrival times, is always consumed — and only the *effects*
+of a matched event (scheduled sim callbacks, ground-truth ledger entry,
+trace/provenance records) are discarded via the injector's
+deferred-effects section.  A selector that matches nothing is a
+byte-identical no-op, which is what makes splice-replay testable.
+"""
+
+from __future__ import annotations
+
+import re
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+#: ``rN:`` replica-scope prefix of the selector grammar.
+_REPLICA_PREFIX = re.compile(r"^r(\d+):(.+)$")
+
+
+@dataclass(frozen=True, slots=True)
+class FaultSelector:
+    """One parsed suppression selector (plain data, picklable)."""
+
+    mechanism: str
+    target: str | None = None
+    at_us: int | None = None
+    replica: int | None = None
+
+    def __str__(self) -> str:
+        text = self.mechanism
+        if self.target is not None:
+            text += f"@{self.target}"
+            if self.at_us is not None:
+                text += f"@{self.at_us}"
+        if self.replica is not None:
+            text = f"r{self.replica}:{text}"
+        return text
+
+    def applies_to_replica(self, index: int) -> bool:
+        """True when this selector is in scope for replica ``index``."""
+        return self.replica is None or self.replica == int(index)
+
+    def matches_event(self, mechanism: str, target: str, at_us: int) -> bool:
+        """True when one plan event ``(mechanism, target, at_us)`` is named.
+
+        Replica scope is *not* checked here — the campaign sampler only
+        ever sees the selectors already filtered to its own replica (see
+        :func:`selectors_for_replica`).
+        """
+        if mechanism != self.mechanism:
+            return False
+        if self.target is not None and target != self.target:
+            return False
+        if self.at_us is not None and int(at_us) != self.at_us:
+            return False
+        return True
+
+
+def parse_selector(text: str) -> FaultSelector:
+    """Parse one selector string; raises :class:`ConfigurationError`."""
+    raw = text.strip()
+    replica: int | None = None
+    scoped = _REPLICA_PREFIX.match(raw)
+    if scoped is not None:
+        replica = int(scoped.group(1))
+        raw = scoped.group(2)
+    parts = raw.split("@")
+    # Mechanism names never contain ":" — a colon here is a malformed
+    # replica prefix ("r:seu", "rX:seu", "r1:"), not a mechanism.
+    if (
+        not parts[0]
+        or ":" in parts[0]
+        or len(parts) > 3
+        or any(not p for p in parts)
+    ):
+        raise ConfigurationError(
+            f"invalid fault selector {text!r}: expected "
+            "[rN:]MECHANISM[@TARGET[@AT_US]]"
+        )
+    at_us: int | None = None
+    if len(parts) == 3:
+        try:
+            at_us = int(parts[2])
+        except ValueError:
+            raise ConfigurationError(
+                f"invalid fault selector {text!r}: activation time "
+                f"{parts[2]!r} is not an integer"
+            ) from None
+    return FaultSelector(
+        mechanism=parts[0],
+        target=parts[1] if len(parts) > 1 else None,
+        at_us=at_us,
+        replica=replica,
+    )
+
+
+def parse_selectors(texts: Iterable[str]) -> tuple[FaultSelector, ...]:
+    """Parse many selector strings (duplicates are preserved)."""
+    return tuple(parse_selector(text) for text in texts)
+
+
+def selectors_for_replica(
+    texts: Iterable[str], index: int
+) -> tuple[FaultSelector, ...]:
+    """The selectors in scope for replica ``index`` (parsed, filtered)."""
+    return tuple(
+        s for s in parse_selectors(texts) if s.applies_to_replica(index)
+    )
+
+
+def event_suppressed(
+    selectors: Sequence[FaultSelector],
+    mechanism: str,
+    target: str,
+    at_us: int,
+) -> bool:
+    """True when any selector names the event."""
+    return any(s.matches_event(mechanism, target, at_us) for s in selectors)
+
+
+def matching_events(
+    selectors_text: Iterable[str],
+    index: int,
+    plan_events: Iterable[tuple[str, str, int]],
+) -> list[tuple[str, str, int]]:
+    """Plan events of replica ``index`` a selector set would suppress.
+
+    This is the affected-set primitive of the replay engine: a replica
+    whose recorded plan contains at least one matching event must be
+    re-executed; all other replicas are provably untouched by the
+    rewrite (their sampled plans — and hence their whole simulations —
+    are byte-identical) and can be spliced from the baseline.
+    """
+    scoped = selectors_for_replica(selectors_text, index)
+    if not scoped:
+        return []
+    return [
+        event
+        for event in plan_events
+        if event_suppressed(scoped, *event)
+    ]

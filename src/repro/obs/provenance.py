@@ -265,6 +265,91 @@ class ProvenanceTracker:
         return tuple(list(ids)[-self.MAX_PARENTS :])
 
 
+# -- DAG queries (counterfactual replay) ---------------------------------------
+
+
+def fault_chains(records: Iterable[Any]) -> dict[str, dict[str, Any]]:
+    """Per injected-fault root, the shape of its causal chain.
+
+    Walks the cause-DAG in ``records`` (trace line dicts, ObsRecord
+    objects, or compact causal-log tuples — the same shapes
+    :func:`fold_stage_latencies` folds) from every ``fault.injected``
+    root and returns, keyed by fault id::
+
+        {"cls": <true class>, "mechanism": <mechanism>,
+         "stages": (stages reached, pipeline order),
+         "onas": (ONA classes fired downstream, name order)}
+
+    The replay engine uses this to describe what a suppressed fault's
+    verdict chain actually traversed in the baseline — the per-fault half
+    of the marginal-diagnostic-value report — and the ONA scan uses the
+    ``onas`` sets to attribute assertion firings to ground-truth roots.
+    """
+    nodes: dict[str, tuple[str | None, str | None]] = {}
+    children: dict[str, list[str]] = {}
+    roots: list[tuple[str, str, str, str]] = []
+    for rec in records:
+        if type(rec) is tuple:
+            name, _t_sim, cause_id, parents, attrs = rec
+            kind = "event"
+        elif isinstance(rec, Mapping):
+            cause_id = rec.get("cause_id")
+            kind = rec.get("kind")
+            name = rec.get("name", "")
+            parents = rec.get("parents", ())
+            attrs = rec.get("attrs", {})
+        else:
+            cause_id = rec.cause_id
+            kind = rec.kind
+            name = rec.name
+            parents = rec.parents
+            attrs = rec.attrs
+        if cause_id is None or kind == "meta":
+            continue
+        stage = STAGE_BY_NAME.get(name)
+        if stage is None:
+            continue
+        if cause_id not in nodes:
+            ona = attrs.get("ona") if stage == "ona" else None
+            nodes[cause_id] = (stage, str(ona) if ona is not None else None)
+            for parent in parents:
+                children.setdefault(parent, []).append(cause_id)
+            if stage == "fault":
+                roots.append(
+                    (
+                        cause_id,
+                        str(attrs.get("fault_id", cause_id)),
+                        str(attrs.get("cls", "unknown")),
+                        str(attrs.get("mechanism", "unknown")),
+                    )
+                )
+
+    chains: dict[str, dict[str, Any]] = {}
+    for root, fault_id, cls, mechanism in roots:
+        reached: set[str] = set()
+        onas: set[str] = set()
+        seen = {root}
+        frontier = [root]
+        while frontier:
+            node_id = frontier.pop()
+            stage, ona = nodes.get(node_id, (None, None))
+            if stage is not None:
+                reached.add(stage)
+                if ona is not None:
+                    onas.add(ona)
+            for child in children.get(node_id, ()):
+                if child not in seen:
+                    seen.add(child)
+                    frontier.append(child)
+        chains[fault_id] = {
+            "cls": cls,
+            "mechanism": mechanism,
+            "stages": tuple(s for s in STAGES if s in reached),
+            "onas": tuple(sorted(onas)),
+        }
+    return chains
+
+
 # -- campaign-scale aggregation ------------------------------------------------
 
 

@@ -374,6 +374,7 @@ class ParallelCampaignRunner:
         checkpoint_meta: dict[str, Any] | None = None,
         store: str | Path | None = None,
         store_meta: dict[str, Any] | None = None,
+        preloaded: dict[int, ReplicaResult] | None = None,
     ) -> RunOutcome:
         """Execute one replica per spec; reduce deterministically.
 
@@ -397,6 +398,16 @@ class ParallelCampaignRunner:
         uninterrupted run would.  ``store_meta`` may carry
         ``campaign_id`` and ``command``/``params`` labels for the part
         manifest.
+
+        ``preloaded`` splices externally supplied per-replica results
+        (index → :class:`ReplicaResult`) into the outcome without
+        executing them — the counterfactual replay engine passes the
+        unaffected baseline replicas here.  Spliced replicas behave
+        exactly like ledger-resumed ones: they enter the index-ordered
+        reduce unchanged, but contribute nothing to the fresh-work
+        metrics (``events_simulated``, busy time) and are counted in
+        ``replicas_resumed`` — which is precisely how the
+        replay-equivalence battery proves only affected replicas re-ran.
         """
         tasks = [
             ReplicaTask(index=i, root_seed=int(root_seed), spec=spec)
@@ -422,13 +433,31 @@ class ParallelCampaignRunner:
                 ),
             )
 
+        spliced: dict[int, ReplicaResult] = dict(preloaded or {})
+        for index, result in spliced.items():
+            if not isinstance(result, ReplicaResult):
+                raise SimulationError(
+                    f"preloaded[{index!r}] must be a ReplicaResult, "
+                    f"got {type(result).__name__}"
+                )
+            if (
+                not isinstance(index, int)
+                or not 0 <= index < len(tasks)
+                or result.index != index
+            ):
+                raise SimulationError(
+                    f"preloaded index {index!r} is out of range "
+                    f"[0, {len(tasks)}) or mismatches "
+                    f"result.index={result.index!r}"
+                )
+
         ledger = None
-        preloaded: dict[int, ReplicaResult] = {}
+        preloaded = spliced
         if checkpoint is not None:
             from repro.runtime.checkpoint import CheckpointLedger
 
             meta = checkpoint_meta or {}
-            ledger, preloaded = CheckpointLedger.open(
+            ledger, resumed = CheckpointLedger.open(
                 checkpoint,
                 root_seed=int(root_seed),
                 specs=specs,
@@ -438,6 +467,8 @@ class ParallelCampaignRunner:
                 command=meta.get("command"),
                 params=meta.get("params"),
             )
+            # Ledger-resumed results fill the gaps; explicit splices win.
+            preloaded = {**resumed, **preloaded}
 
         t0 = time.perf_counter()
         leaked: list[int] = []

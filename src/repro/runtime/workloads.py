@@ -30,7 +30,9 @@ from repro.faults.campaign import (
     RandomCampaign,
     summarize_campaign,
 )
+from repro.core.ona import onas_without
 from repro.faults.injector import FaultInjector
+from repro.faults.suppress import selectors_for_replica
 from repro.presets import figure10_cluster
 from repro.runtime.runner import ParallelCampaignRunner, ReplicaTask, RunOutcome
 
@@ -92,8 +94,17 @@ def replica_materials(replica: ReplicaTask) -> ReplicaMaterials:
     try:
         parts = figure10_cluster(seed=replica.state_seed())
         cluster = parts.cluster
+        # Counterfactual rewrites (repro whatif): ONA classes named by the
+        # spec are left out of the battery, and fault selectors scoped to
+        # this replica are handed to the sampler, which discards matched
+        # events' effects while preserving every RNG draw.  getattr keeps
+        # pre-rewrite pickled specs (old checkpoint ledgers) loadable.
+        disable_onas = getattr(spec, "disable_onas", ())
         service = DiagnosticService(
-            cluster, collector="comp5", window_points=12_000
+            cluster,
+            collector="comp5",
+            window_points=12_000,
+            onas=onas_without(disable_onas) if disable_onas else None,
         )
         injector = FaultInjector(cluster)
         campaign = RandomCampaign(
@@ -103,6 +114,9 @@ def replica_materials(replica: ReplicaTask) -> ReplicaMaterials:
             sensor_jobs=spec.sensor_jobs,
             software_jobs=spec.software_jobs,
             config_ports=spec.config_ports,
+            suppress=selectors_for_replica(
+                getattr(spec, "suppress_faults", ()), replica.index
+            ),
         )
         plan = campaign.run(replica.rng())
         cluster.run(spec.horizon_us + spec.settle_us)
@@ -220,6 +234,7 @@ def run_random_campaigns(
     checkpoint_meta: dict | None = None,
     store: str | None = None,
     store_meta: dict | None = None,
+    preloaded: dict | None = None,
 ) -> RunOutcome:
     """Run ``replicas`` independent stochastic campaigns.
 
@@ -237,6 +252,13 @@ def run_random_campaigns(
     over the batch.  Per-replica outcomes and the reduced summary are
     bit-identical to the scalar backend (enforced by
     ``tests/integration/test_backend_differential.py``).
+
+    ``preloaded`` splices already-known per-replica results (index →
+    :class:`~repro.runtime.runner.ReplicaResult`) straight into the
+    reduce without re-executing them — the counterfactual replay engine
+    uses it to re-run only DAG-affected replicas.  The runner's metrics
+    count only fresh work, so ``events_simulated``/``replicas_resumed``
+    prove what was spliced.
     """
     if replicas < 0:
         raise ValueError(f"replicas must be >= 0, got {replicas}")
@@ -264,4 +286,5 @@ def run_random_campaigns(
         checkpoint_meta=checkpoint_meta,
         store=store,
         store_meta=store_meta,
+        preloaded=preloaded,
     )

@@ -7,57 +7,32 @@ outcomes.  This battery drives randomly sampled campaigns through both
 backends and fails on any divergence.
 
 The hypothesis block is ``derandomize=True`` so the corpus is a fixed,
-replayable seed set (the CI ``backend-differential`` job replays exactly
-these campaigns); the deterministic smoke tests run in tier-1.
-
-Wall-clock caveat: raw trace records carry ``t_wall_s`` stamps that
-differ between ANY two runs (scalar vs scalar included), so per-replica
-comparisons collapse ``obs_trace`` to its canonical wall-free
-``trace_digest`` — the same convention the checkpoint acceptance tests
-use.
+replayable seed set (the CI ``differential`` matrix replays exactly
+these campaigns); the deterministic smoke tests run in tier-1.  Shared
+comparison helpers (wall-free outcomes, the fuzz strategy space) live in
+``tests/_differential.py``.
 """
 
 from __future__ import annotations
 
 import json
-from dataclasses import replace
 
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.analysis.fleet_sim import simulate_diagnosed_fleet
-from repro.faults.campaign import CampaignReplicaSpec
-from repro.obs import trace_digest
-from repro.runtime.workloads import run_random_campaigns
 from repro.units import ms
-
-FULL_OBS_SPEC = CampaignReplicaSpec(
-    expected_faults=3.0,
-    horizon_us=ms(300),
-    obs_enabled=True,
-    obs_trace=True,
-    obs_provenance=True,
+from tests._differential import (
+    FUZZ_CHUNK,
+    FUZZ_EXPECTED_FAULTS,
+    FUZZ_SEED,
+    fuzz_spec,
+    run_campaign,
+    wall_free,
 )
 
-
-def _wall_free(outcome):
-    """Per-replica outcomes with the trace collapsed to its digest."""
-    return [
-        replace(r.value, obs_trace=trace_digest(r.value.obs_trace))
-        for r in outcome.results
-    ]
-
-
-def _run(backend, *, replicas=6, seed=11, chunk=2, workers=1, spec=FULL_OBS_SPEC):
-    return run_random_campaigns(
-        replicas,
-        root_seed=seed,
-        spec=spec,
-        workers=workers,
-        chunk_size=chunk,
-        backend=backend,
-    )
+pytestmark = pytest.mark.differential
 
 
 # -- deterministic smoke (tier-1) ------------------------------------------
@@ -66,20 +41,20 @@ def _run(backend, *, replicas=6, seed=11, chunk=2, workers=1, spec=FULL_OBS_SPEC
 @pytest.mark.parametrize("chunk", [1, 3, 8])
 def test_batched_matches_scalar_across_batch_sizes(chunk):
     """Batch size 1, mid-size, and one-chunk-covers-all are all exact."""
-    scalar = _run("scalar", chunk=chunk)
-    batched = _run("batched", chunk=chunk)
+    scalar = run_campaign("scalar", chunk=chunk)
+    batched = run_campaign("batched", chunk=chunk)
     # Summary equality covers verdict totals, per-mechanism folds, the
     # plan digest and the merged obs-counter snapshot.
     assert batched.value == scalar.value
-    assert _wall_free(batched) == _wall_free(scalar)
+    assert wall_free(batched) == wall_free(scalar)
     assert batched.metrics.backend == "batched"
     assert scalar.metrics.backend == "scalar"
 
 
 def test_stage_latency_histograms_identical():
     """Provenance stage-latency histograms survive the batched fold."""
-    scalar = _run("scalar")
-    batched = _run("batched")
+    scalar = run_campaign("scalar")
+    batched = run_campaign("batched")
     blob_scalar = json.dumps(
         scalar.value.obs_counters, sort_keys=True, default=str
     )
@@ -92,10 +67,10 @@ def test_stage_latency_histograms_identical():
 
 def test_batched_pool_matches_scalar_serial():
     """backend=batched composes with the process pool unchanged."""
-    scalar = _run("scalar", replicas=4, chunk=2, workers=1)
-    batched = _run("batched", replicas=4, chunk=2, workers=2)
+    scalar = run_campaign("scalar", replicas=4, chunk=2, workers=1)
+    batched = run_campaign("batched", replicas=4, chunk=2, workers=2)
     assert batched.value == scalar.value
-    assert _wall_free(batched) == _wall_free(scalar)
+    assert wall_free(batched) == wall_free(scalar)
     assert batched.metrics.workers == 2
     assert batched.metrics.backend == "batched"
 
@@ -116,24 +91,20 @@ def test_batched_fleet_matches_scalar():
 
 @settings(max_examples=8, deadline=None, derandomize=True)
 @given(
-    seed=st.integers(min_value=0, max_value=2**16),
+    seed=FUZZ_SEED,
     replicas=st.integers(min_value=1, max_value=5),
-    chunk=st.sampled_from((1, 3, 8)),
-    expected_faults=st.sampled_from((1.5, 3.0, 5.0)),
+    chunk=FUZZ_CHUNK,
+    expected_faults=FUZZ_EXPECTED_FAULTS,
     obs=st.booleans(),
 )
 def test_fuzz_batched_equals_scalar(seed, replicas, chunk, expected_faults, obs):
     """Random (seed, size, batch, load, obs) campaigns: always exact."""
-    spec = CampaignReplicaSpec(
-        expected_faults=expected_faults,
-        horizon_us=ms(250),
-        obs_enabled=obs,
-        obs_trace=obs,
-        obs_provenance=obs,
+    spec = fuzz_spec(expected_faults, obs, trace=True)
+    scalar = run_campaign(
+        "scalar", replicas=replicas, seed=seed, chunk=chunk, spec=spec
     )
-    scalar = _run("scalar", replicas=replicas, seed=seed, chunk=chunk, spec=spec)
-    batched = _run(
+    batched = run_campaign(
         "batched", replicas=replicas, seed=seed, chunk=chunk, spec=spec
     )
     assert batched.value == scalar.value
-    assert _wall_free(batched) == _wall_free(scalar)
+    assert wall_free(batched) == wall_free(scalar)

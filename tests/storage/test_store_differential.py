@@ -10,8 +10,8 @@ stores each run, and fails on any divergence between the store-backed
 query answer and the in-memory answer.
 
 The hypothesis block is ``derandomize=True``: a fixed, replayable fuzz
-corpus, same convention as ``tests/integration
-/test_backend_differential.py``.  The report renderer is pinned
+corpus drawn from the shared strategy space in
+``tests/_differential.py``.  The report renderer is pinned
 byte-for-byte by ``tests/data/golden_query_report.txt`` (regeneration
 recipe in :func:`regenerate`).
 """
@@ -38,15 +38,17 @@ from repro.storage.query import (
     stage_latency,
 )
 from repro.units import ms
+from tests._differential import (
+    FUZZ_CHUNK,
+    FUZZ_EXPECTED_FAULTS,
+    FUZZ_SEED,
+    PROVENANCE_SPEC,
+    fuzz_spec,
+)
+
+pytestmark = pytest.mark.differential
 
 GOLDEN_PATH = Path(__file__).resolve().parents[1] / "data" / "golden_query_report.txt"
-
-FULL_OBS_SPEC = CampaignReplicaSpec(
-    expected_faults=3.0,
-    horizon_us=ms(300),
-    obs_enabled=True,
-    obs_provenance=True,
-)
 
 #: The golden corpus: three campaigns, fixed seeds, provenance on.
 GOLDEN_SPEC = CampaignReplicaSpec(
@@ -67,7 +69,7 @@ def _store_run(
     replicas=6,
     chunk=2,
     campaign="c1",
-    spec=FULL_OBS_SPEC,
+    spec=PROVENANCE_SPEC,
 ):
     return run_random_campaigns(
         replicas,
@@ -212,22 +214,17 @@ def test_accuracy_drift_across_stored_campaigns(tmp_path):
 
 @settings(max_examples=6, deadline=None, derandomize=True)
 @given(
-    seed=st.integers(min_value=0, max_value=2**16),
+    seed=FUZZ_SEED,
     replicas=st.integers(min_value=1, max_value=4),
-    chunk=st.sampled_from((1, 3, 8)),
-    expected_faults=st.sampled_from((1.5, 3.0, 5.0)),
+    chunk=FUZZ_CHUNK,
+    expected_faults=FUZZ_EXPECTED_FAULTS,
     obs=st.booleans(),
 )
 def test_fuzz_store_equals_reduce(
     tmp_path_factory, seed, replicas, chunk, expected_faults, obs
 ):
     """Random campaigns: stored aggregates always equal the reduce."""
-    spec = CampaignReplicaSpec(
-        expected_faults=expected_faults,
-        horizon_us=ms(250),
-        obs_enabled=obs,
-        obs_provenance=obs,
-    )
+    spec = fuzz_spec(expected_faults, obs)
     root = tmp_path_factory.mktemp("fuzz-store")
     outcome = _store_run(
         root, seed=seed, replicas=replicas, chunk=chunk, spec=spec

@@ -24,6 +24,15 @@ Two measurements, two contracts:
    stage-latency fold) must stay within 10% of the counters-only
    campaign — the acceptance contract for schema v2.
 
+4. **Live-bus overhead (disabled <5%, enabled <10%, hard-asserted).**
+   The in-flight telemetry layer (``--live-log``): its disabled path in
+   the chunk executor is one ``is not None`` check per replica, timed
+   pairwise against a pre-telemetry copy of the executor; its enabled
+   path (JSONL sink + heartbeat stamping + monitor fold) must stay
+   within 10% of the counters-only campaign.  Both use the same
+   median-of-paired-ratio estimator; results land in
+   ``benchmarks/out/BENCH_live.json``.
+
 Replica count is tunable via ``REPRO_BENCH_OBS_REPLICAS`` (default 8:
 the bench favours a fast signal; the ratios are stable well below the
 200-replica campaign used by ``bench_parallel``).
@@ -271,4 +280,183 @@ def test_obs_campaign_overhead(benchmark):
     assert provenance_vs_counters < 1.10, (
         f"provenance lineage costs {provenance_vs_counters:.2f}x the "
         "counters-only campaign — breaches the <10% contract"
+    )
+
+
+# -- live telemetry bus -------------------------------------------------------
+
+LIVE_EXEC_REPLICAS = 50_000
+LIVE_EXEC_REPEATS = 7
+
+
+def _noop_replica(replica):
+    """Cheapest possible task: per-replica executor overhead dominates."""
+    return replica.index
+
+
+def _execute_chunk_pre_telemetry(task, tasks):
+    """The shipped chunk executor exactly as it was before the live bus.
+
+    Bench-local baseline for the disabled-path contract, like
+    :class:`_HookFreeSimulator`: production has no business shipping an
+    executor that cannot heartbeat.
+    """
+    from repro.runtime.runner import ReplicaResult
+
+    worker = "bench"
+    out = []
+    for replica in tasks:
+        t0 = time.perf_counter()
+        value = task(replica)
+        elapsed = time.perf_counter() - t0
+        events = int(getattr(value, "events_simulated", 0) or 0)
+        out.append(
+            ReplicaResult(
+                index=replica.index,
+                value=value,
+                events=events,
+                elapsed_s=elapsed,
+                worker=worker,
+            )
+        )
+    return out
+
+
+def _time_executor(execute) -> float:
+    from repro.runtime.runner import ReplicaTask
+
+    tasks = [
+        ReplicaTask(index=i, root_seed=0) for i in range(LIVE_EXEC_REPLICAS)
+    ]
+    start = time.perf_counter()
+    out = execute(tasks)
+    elapsed = time.perf_counter() - start
+    assert len(out) == LIVE_EXEC_REPLICAS
+    return elapsed
+
+
+def _measure_live_overhead():
+    """Both live-bus legs with the median-of-paired-ratio estimator."""
+    import tempfile
+    from pathlib import Path
+
+    from repro.runtime.runner import _execute_chunk
+
+    # Leg 1 — disabled path: shipped executor with heartbeat=None vs the
+    # pre-telemetry copy, paired so machine drift cancels per pair.
+    base_best = inst_best = float("inf")
+    exec_ratios = []
+    for _ in range(LIVE_EXEC_REPEATS):
+        base = _time_executor(
+            lambda tasks: _execute_chunk_pre_telemetry(_noop_replica, tasks)
+        )
+        inst = _time_executor(
+            lambda tasks: _execute_chunk(
+                _noop_replica, tasks, worker_label="bench"
+            )
+        )
+        base_best = min(base_best, base)
+        inst_best = min(inst_best, inst)
+        exec_ratios.append(inst / base)
+    exec_ratios.sort()
+    disabled_ratio = exec_ratios[len(exec_ratios) // 2]
+
+    # Leg 2 — enabled path: counters-only campaign vs the same campaign
+    # streaming live telemetry to a JSONL sidecar, within-round ratios.
+    spec = CampaignReplicaSpec(
+        expected_faults=3.0, horizon_us=HORIZON_US, obs_enabled=True
+    )
+    rounds = []
+    walls = {"counters": float("inf"), "live": float("inf")}
+    summaries = {}
+    with tempfile.TemporaryDirectory(prefix="repro-bench-live-") as tmp:
+        for i in range(REPEATS):
+            round_walls = {}
+            run = _campaign(spec)
+            round_walls["counters"] = run.metrics.wall_time_s
+            summaries["counters"] = run.value
+            live = run_random_campaigns(
+                REPLICAS,
+                root_seed=ROOT_SEED,
+                spec=spec,
+                workers=1,
+                live_log=str(Path(tmp) / f"live-{i}.jsonl"),
+            )
+            round_walls["live"] = live.metrics.wall_time_s
+            summaries["live"] = live.value
+            for name, wall in round_walls.items():
+                walls[name] = min(walls[name], wall)
+            rounds.append(round_walls)
+    enabled_ratio = _median_ratio(rounds, "live", "counters")
+    return (
+        (base_best, inst_best, disabled_ratio),
+        (walls, enabled_ratio, summaries),
+    )
+
+
+def test_live_bus_overhead(benchmark):
+    """Both live-bus contracts: disabled <5%, enabled <10%."""
+    disabled, enabled = once(benchmark, _measure_live_overhead)
+    base_s, inst_s, disabled_ratio = disabled
+    walls, enabled_ratio, summaries = enabled
+    disabled_overhead = disabled_ratio - 1.0
+    # Telemetry must never perturb the campaign it watches.
+    assert summaries["live"].plan_digest == summaries["counters"].plan_digest
+    assert (
+        summaries["live"].events_simulated
+        == summaries["counters"].events_simulated
+    )
+    emit(
+        "BENCH_live",
+        render_table(
+            ["path", "wall [s]", "overhead"],
+            [
+                [
+                    "executor, pre-telemetry",
+                    f"{base_s:.4f}",
+                    "-",
+                ],
+                [
+                    "executor, bus off",
+                    f"{inst_s:.4f}",
+                    f"{disabled_overhead:+.2%}",
+                ],
+                [
+                    "campaign, counters",
+                    f"{walls['counters']:.3f}",
+                    "-",
+                ],
+                [
+                    "campaign, counters + live log",
+                    f"{walls['live']:.3f}",
+                    f"{enabled_ratio - 1.0:+.2%}",
+                ],
+            ],
+            title=(
+                "Live-bus overhead: disabled path "
+                f"{disabled_overhead:+.2%} (contract <5%), enabled path "
+                f"{enabled_ratio - 1.0:+.2%} vs counters-only (contract "
+                f"<10%); median paired ratios"
+            ),
+        ),
+        data={
+            "executor_replicas": LIVE_EXEC_REPLICAS,
+            "executor_repeats": LIVE_EXEC_REPEATS,
+            "executor_pre_telemetry_s": round(base_s, 6),
+            "executor_bus_off_s": round(inst_s, 6),
+            "disabled_ratio": round(disabled_ratio, 4),
+            "campaign_replicas": REPLICAS,
+            "campaign_repeats": REPEATS,
+            "campaign_wall_s": {k: round(v, 4) for k, v in walls.items()},
+            "enabled_ratio": round(enabled_ratio, 4),
+            "events_simulated": summaries["counters"].events_simulated,
+        },
+    )
+    assert disabled_overhead < 0.05, (
+        f"live-bus disabled path costs {disabled_overhead:+.2%} — the "
+        "heartbeat gate is no longer one None-check per replica"
+    )
+    assert enabled_ratio < 1.10, (
+        f"live telemetry costs {enabled_ratio:.2f}x the counters-only "
+        "campaign — breaches the <10% contract"
     )

@@ -34,8 +34,17 @@ Commands
     across campaigns, provenance stage-latency percentiles) — reads the
     stored tables only and never instantiates the simulator.
 
+``monitor PATH``
+    Render live campaign telemetry from a ``--live-log`` sidecar:
+    progress %, ETA, per-worker throughput, retries, stall/straggler
+    flags.  ``--follow`` tails the log, ``--json`` emits the structured
+    summary, ``--serve PORT`` answers one OpenMetrics scrape from the
+    ``PATH.prom`` snapshot.  Tolerates a truncated tail (a killed run's
+    log still renders) and never instantiates the simulator.
+
 ``obs report PATH``
-    Validate a recorded JSONL obs trace and render its summary.
+    Validate a recorded JSONL obs trace and render its summary
+    (``--json`` for the machine-readable form).
 ``obs export --format chrome PATH``
     Convert a trace to Chrome-trace/Perfetto JSON (causal flow arrows
     from schema-v2 provenance lineage).
@@ -58,6 +67,10 @@ the run stalling in the serial fallback.  ``--store DIR`` additionally
 writes the reduced result into the columnar campaign store (with
 ``--campaign-id`` as the partition label and ``--store-format`` picking
 Parquet or the columnar-JSON fallback; see ``docs/storage.md``).
+``--live-log PATH`` streams in-flight lifecycle telemetry — progress,
+worker heartbeats, stall/straggler flags — to a JSONL sidecar watchable
+with ``repro monitor`` (plus an OpenMetrics ``PATH.prom`` snapshot);
+it never affects the simulation or any canonical digest.
 
 Observability flags (``docs/observability.md``): ``--trace PATH`` writes
 a schema-v2 JSONL obs trace of the run (for ``mc`` the parent aggregates
@@ -166,7 +179,11 @@ def _checkpoint_kwargs(args: argparse.Namespace, command: str, params: dict):
     checkpoint = getattr(args, "checkpoint", None)
     store = getattr(args, "store", None)
     meta = None
-    if checkpoint:
+    # The same invocation record doubles as the live-log's run header
+    # (the runner merges checkpoint/store meta into ``run_started``), so
+    # build it for live-only runs too — the ledger only consumes it when
+    # --checkpoint is actually given.
+    if checkpoint or getattr(args, "live_log", None):
         meta = {
             "command": command,
             "params": {
@@ -181,6 +198,7 @@ def _checkpoint_kwargs(args: argparse.Namespace, command: str, params: dict):
                 "store": store,
                 "campaign_id": args.campaign_id,
                 "store_format": args.store_format,
+                "live_log": getattr(args, "live_log", None),
                 **params,
             },
         }
@@ -200,6 +218,7 @@ def _checkpoint_kwargs(args: argparse.Namespace, command: str, params: dict):
         "checkpoint_meta": meta,
         "store": store,
         "store_meta": store_meta,
+        "live_log": getattr(args, "live_log", None),
     }
 
 
@@ -546,6 +565,20 @@ def cmd_obs(args: argparse.Namespace) -> int:
     from repro.errors import ConfigurationError
 
     if args.obs_command == "report":
+        if getattr(args, "json", False):
+            import json
+
+            from repro.obs.report import summarize_trace
+            from repro.obs.tracer import read_jsonl, validate_trace
+
+            try:
+                records = read_jsonl(args.path)
+                validate_trace(records)
+            except (ConfigurationError, OSError) as exc:
+                print(f"invalid obs trace {args.path}: {exc}")
+                return 1
+            print(json.dumps(summarize_trace(records), sort_keys=True))
+            return 0
         from repro.obs.report import render_report
 
         try:
@@ -635,6 +668,62 @@ def cmd_query(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_monitor(args: argparse.Namespace) -> int:
+    """Render live campaign telemetry — never touches the sim.
+
+    Reads only the ``--live-log`` JSONL sidecar (tolerant-tail parsing,
+    like the checkpoint ledger loader) and the ``PATH.prom`` OpenMetrics
+    snapshot; the one-shot report is a pure function of the log bytes,
+    which the committed golden in ``tests/data/`` pins byte for byte.
+    """
+    import json
+    import time
+
+    from repro.obs.live import monitor_once, serve_metrics_once
+
+    if args.serve is not None:
+
+        class _Announce:
+            port = 0
+
+            def set(self) -> None:
+                print(
+                    "[serving OpenMetrics on "
+                    f"http://127.0.0.1:{self.port}/ — one scrape]",
+                    flush=True,
+                )
+
+        try:
+            serve_metrics_once(args.path, port=args.serve, started=_Announce())
+        except OSError as exc:
+            print(f"cannot serve {args.path}: {exc}", file=sys.stderr)
+            return 1
+        return 0
+    try:
+        summary, report = monitor_once(args.path)
+    except OSError as exc:
+        print(f"cannot read live log {args.path}: {exc}", file=sys.stderr)
+        return 1
+    if args.follow:
+        last = None
+        try:
+            while True:
+                summary, report = monitor_once(args.path)
+                if report != last:
+                    print(report, end="", flush=True)
+                    last = report
+                if summary["finished"]:
+                    return 0
+                time.sleep(args.interval)
+        except KeyboardInterrupt:
+            return 0
+    if args.json:
+        print(json.dumps(summary, sort_keys=True))
+    else:
+        print(report, end="")
+    return 0
+
+
 def cmd_whatif(args: argparse.Namespace) -> int:
     """Counterfactual replay of a stored campaign (docs/replay.md)."""
     import json
@@ -711,6 +800,7 @@ _RESUME_OVERRIDABLE: dict[str, object] = {
     "store": None,
     "campaign_id": "default",
     "store_format": "auto",
+    "live_log": None,
 }
 
 #: Per-command parser defaults ``cmd_resume`` starts from before
@@ -890,6 +980,19 @@ _GLOBAL_OPTIONS: list[tuple[tuple[str, ...], dict]] = [
             ),
         },
     ),
+    (
+        ("--live-log",),
+        {
+            "metavar": "PATH",
+            "default": None,
+            "help": (
+                "stream in-flight lifecycle telemetry (progress, worker "
+                "heartbeats, stall/straggler flags) to a schema-versioned "
+                "JSONL sidecar at PATH plus an OpenMetrics PATH.prom "
+                "snapshot; watch with `python -m repro monitor PATH`"
+            ),
+        },
+    ),
 ]
 
 
@@ -951,6 +1054,11 @@ def main(argv: list[str] | None = None) -> int:
         "report", help="validate and summarize a JSONL obs trace"
     )
     report.add_argument("path")
+    report.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable summary instead of the text report",
+    )
     export = obs_sub.add_parser(
         "export", help="convert a JSONL obs trace to another format"
     )
@@ -1005,6 +1113,39 @@ def main(argv: list[str] | None = None) -> int:
         "--campaign",
         default=None,
         help="restrict to one campaign id (drift always spans all)",
+    )
+    monitor_cmd = sub.add_parser(
+        "monitor",
+        help="render live campaign telemetry from a --live-log sidecar",
+    )
+    monitor_cmd.add_argument("path")
+    monitor_cmd.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable summary instead of the text report",
+    )
+    monitor_cmd.add_argument(
+        "--follow",
+        action="store_true",
+        help="keep re-rendering until the run finishes (or Ctrl-C)",
+    )
+    monitor_cmd.add_argument(
+        "--interval",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="--follow refresh period (default 1.0)",
+    )
+    monitor_cmd.add_argument(
+        "--serve",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help=(
+            "answer one OpenMetrics scrape on PORT (0 = ephemeral) from "
+            "the PATH.prom snapshot, falling back to gauges derived from "
+            "the log"
+        ),
     )
     whatif_cmd = add_command(
         "whatif", "counterfactual replay of a stored mc campaign"
@@ -1061,6 +1202,7 @@ def main(argv: list[str] | None = None) -> int:
         "explain": cmd_explain,
         "resume": cmd_resume,
         "query": cmd_query,
+        "monitor": cmd_monitor,
         "whatif": cmd_whatif,
     }
     if args.command is None:
@@ -1086,6 +1228,7 @@ def main(argv: list[str] | None = None) -> int:
         "explain",
         "resume",
         "query",
+        "monitor",
         "whatif",
     ) or not (
         getattr(args, "trace", None) or getattr(args, "profile", False)

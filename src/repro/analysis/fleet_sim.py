@@ -164,6 +164,7 @@ def simulate_diagnosed_fleet(
     checkpoint_meta: dict | None = None,
     store: str | None = None,
     store_meta: dict | None = None,
+    live_log: str | None = None,
 ) -> DiagnosedFleetResult:
     """Simulate ``n_vehicles`` full vehicles and collect OEM field data.
 
@@ -208,6 +209,7 @@ def simulate_diagnosed_fleet(
         checkpoint_meta=checkpoint_meta,
         store=store,
         store_meta=store_meta,
+        live_log=live_log,
     )
     if not outcome.results:
         raise AnalysisError(

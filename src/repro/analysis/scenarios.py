@@ -408,6 +408,7 @@ def run_campaign(
     checkpoint_meta: dict | None = None,
     store: str | None = None,
     store_meta: dict | None = None,
+    live_log: str | None = None,
 ) -> CampaignResult:
     """Run every scenario on every seed; score classification and costs.
 
@@ -429,12 +430,16 @@ def run_campaign(
         (scenario.name, seed) for seed in seeds for scenario in scenarios
     ]
     if (
-        checkpoint is not None or store is not None or backend != "scalar"
+        checkpoint is not None
+        or store is not None
+        or live_log is not None
+        or backend != "scalar"
     ) and workers <= 1:
         # The serial fast path below keeps live ScenarioRun objects and
         # bypasses the runner; checkpointing needs the runner's chunked
-        # ledger, the columnar store its post-reduce write hook, and a
-        # non-default backend its chunk executor, so route through it.
+        # ledger, the columnar store its post-reduce write hook, live
+        # telemetry its lifecycle events, and a non-default backend its
+        # chunk executor, so route through it.
         workers = 1
         catalogue_names = {s.name for s in CATALOGUE}
         unknown = {name for name, _ in specs} - catalogue_names
@@ -459,6 +464,7 @@ def run_campaign(
             checkpoint_meta=checkpoint_meta,
             store=store,
             store_meta=store_meta,
+            live_log=live_log,
         )
         result = (
             outcome.value
@@ -496,6 +502,7 @@ def run_campaign(
             checkpoint_meta=checkpoint_meta,
             store=store,
             store_meta=store_meta,
+            live_log=live_log,
         )
         result = (
             outcome.value

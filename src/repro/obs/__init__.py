@@ -14,6 +14,13 @@ DECOS reproduction exposes:
   symptoms, ONAs, alpha-counts and trust to maintenance actions
   (rendered by ``repro explain``).
 
+Two sibling modules cover the *while-it-runs* and *exposition* halves:
+:mod:`repro.obs.live` (the runner's in-flight progress event bus, worker
+heartbeats and stall detection, read by ``repro monitor``) and
+:mod:`repro.obs.openmetrics` (OpenMetrics text rendering of counter
+snapshots and run metrics).  Both are lazy — importing ``repro.obs``
+never loads them, so the hot path pays nothing for them.
+
 The stack is instrumented against the *active* context
 (:mod:`repro.obs.state`), which defaults to a disabled singleton: every
 hook is one attribute check and a branch, so an uninstrumented-feeling
@@ -59,6 +66,8 @@ from repro.obs.tracer import (
 )
 
 __all__ = [
+    "LIVE_SCHEMA_VERSION",
+    "LiveEventBus",
     "SUPPORTED_SCHEMA_VERSIONS",
     "TRACE_SCHEMA_VERSION",
     "CounterRegistry",
@@ -75,6 +84,7 @@ __all__ = [
     "get_obs",
     "histogram_quantile",
     "read_jsonl",
+    "render_openmetrics",
     "set_obs",
     "trace_digest",
     "validate_record",
@@ -145,6 +155,28 @@ class Observability:
     def trace_dicts(self) -> list[dict[str, Any]]:
         """In-memory trace records as schema-v2 line dicts."""
         return self.tracer.record_dicts()
+
+
+#: Lazy exports (PEP 562): the live-telemetry and OpenMetrics modules
+#: load on first attribute access only, keeping ``import repro.obs``
+#: byte-cheap for the instrumentation hot path.
+_LAZY_EXPORTS = {
+    "LIVE_SCHEMA_VERSION": ("repro.obs.live", "LIVE_SCHEMA_VERSION"),
+    "LiveEventBus": ("repro.obs.live", "LiveEventBus"),
+    "render_openmetrics": ("repro.obs.openmetrics", "render_openmetrics"),
+}
+
+
+def __getattr__(name: str) -> Any:
+    try:
+        module_name, attr = _LAZY_EXPORTS[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    import importlib
+
+    return getattr(importlib.import_module(module_name), attr)
 
 
 #: Disabled singleton — the default active context.

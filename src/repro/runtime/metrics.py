@@ -10,9 +10,15 @@ text files, and CLI invocations can be profiled with ``--metrics-json``.
 from __future__ import annotations
 
 import json
+from collections.abc import Mapping
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
+
+#: RunMetrics dict-layout version.  Consumers that parse ``to_dict()``
+#: payloads (``--metrics-json`` files, live-log ``run_finished`` records,
+#: ``repro monitor`` summaries) key tolerant parsing off this field.
+METRICS_SCHEMA_VERSION = 1
 
 
 @dataclass(frozen=True, slots=True)
@@ -78,6 +84,7 @@ class RunMetrics:
     def to_dict(self) -> dict[str, Any]:
         """Plain-dict form (JSON-safe scalars only)."""
         return {
+            "schema": METRICS_SCHEMA_VERSION,
             "replicas": self.replicas,
             "workers": self.workers,
             "chunk_size": self.chunk_size,
@@ -97,6 +104,44 @@ class RunMetrics:
             "replicas_resumed": self.replicas_resumed,
             "backend": self.backend,
         }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RunMetrics":
+        """Rebuild a record from its :meth:`to_dict` payload.
+
+        Round-trips exactly (up to ``to_dict``'s documented rounding):
+        ``RunMetrics.from_dict(m.to_dict()).to_dict() == m.to_dict()``.
+        Unknown schema versions raise rather than misparse.
+        """
+        schema = data.get("schema", METRICS_SCHEMA_VERSION)
+        if schema != METRICS_SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported RunMetrics schema {schema!r} "
+                f"(this build reads v{METRICS_SCHEMA_VERSION})"
+            )
+        return cls(
+            replicas=int(data["replicas"]),
+            workers=int(data["workers"]),
+            chunk_size=int(data["chunk_size"]),
+            wall_time_s=float(data["wall_time_s"]),
+            events_simulated=int(data["events_simulated"]),
+            events_per_second=float(data["events_per_second"]),
+            retries=int(data.get("retries", 0)),
+            worker_busy_s={
+                str(k): float(v)
+                for k, v in data.get("worker_busy_s", {}).items()
+            },
+            worker_utilization={
+                str(k): float(v)
+                for k, v in data.get("worker_utilization", {}).items()
+            },
+            leaked_worker_pids=tuple(
+                int(p) for p in data.get("leaked_worker_pids", ())
+            ),
+            replicas_failed=int(data.get("replicas_failed", 0)),
+            replicas_resumed=int(data.get("replicas_resumed", 0)),
+            backend=str(data.get("backend", "scalar")),
+        )
 
     def to_json(self, *, indent: int = 2) -> str:
         return json.dumps(self.to_dict(), indent=indent, sort_keys=True)

@@ -52,6 +52,8 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import shutil
+import tempfile
 import time
 import traceback as _traceback
 from collections.abc import Callable, Sequence
@@ -185,14 +187,31 @@ def _execute_chunk(
     tasks: list[ReplicaTask],
     worker_label: str | None = None,
     capture_errors: bool = False,
+    heartbeat: str | None = None,
+    chunk_id: int = 0,
 ) -> list[ReplicaResult | ReplicaFailure]:
     """Run one chunk of replicas; top-level so spawn can pickle it.
 
     With ``capture_errors`` a raising task yields a
     :class:`ReplicaFailure` instead of aborting the chunk, so one bad
     replica cannot take down the results of its chunk siblings.
+
+    With ``heartbeat`` (a file path, live-telemetry runs only) the
+    worker stamps progress — pid, replicas done, events simulated, rss —
+    at chunk start and after every replica, feeding the parent's stall
+    detector.  The disabled path pays one ``is not None`` check per
+    replica and nothing else.
     """
     worker = worker_label if worker_label is not None else f"pid-{os.getpid()}"
+    stamp = None
+    if heartbeat is not None:
+        from repro.obs.live import stamp_heartbeat as stamp
+
+        stamp(
+            heartbeat, worker=worker, chunk=chunk_id, replicas_done=0, events=0
+        )
+    done = 0
+    events_total = 0
     out: list[ReplicaResult | ReplicaFailure] = []
     for replica in tasks:
         t0 = time.perf_counter()
@@ -211,6 +230,15 @@ def _execute_chunk(
                     worker=worker,
                 )
             )
+            if stamp is not None:
+                done += 1
+                stamp(
+                    heartbeat,
+                    worker=worker,
+                    chunk=chunk_id,
+                    replicas_done=done,
+                    events=events_total,
+                )
             continue
         elapsed = time.perf_counter() - t0
         events = int(getattr(value, "events_simulated", 0) or 0)
@@ -223,6 +251,16 @@ def _execute_chunk(
                 worker=worker,
             )
         )
+        if stamp is not None:
+            done += 1
+            events_total += events
+            stamp(
+                heartbeat,
+                worker=worker,
+                chunk=chunk_id,
+                replicas_done=done,
+                events=events_total,
+            )
     return out
 
 
@@ -231,6 +269,8 @@ def _execute_packed_chunk(
     tasks: list[ReplicaTask],
     worker_label: str | None = None,
     capture_errors: bool = False,
+    heartbeat: str | None = None,
+    chunk_id: int = 0,
 ):
     """Run one chunk through a batch task; returns the task's pack.
 
@@ -240,8 +280,32 @@ def _execute_packed_chunk(
     have produced), so ledger appends, retries and the reduce all
     operate on identical shapes regardless of backend.  Top-level so
     spawn can pickle it by reference.
+
+    Heartbeats are stamped at batch start and end only — the batch task
+    owns the whole chunk, so per-replica liveness is not observable from
+    here without changing the batch API; coarse liveness still bounds
+    stall detection to one chunk latency.
     """
-    return batch_task(tasks, worker_label, capture_errors)
+    stamp = None
+    if heartbeat is not None:
+        from repro.obs.live import stamp_heartbeat as stamp
+
+        worker = (
+            worker_label if worker_label is not None else f"pid-{os.getpid()}"
+        )
+        stamp(
+            heartbeat, worker=worker, chunk=chunk_id, replicas_done=0, events=0
+        )
+    pack = batch_task(tasks, worker_label, capture_errors)
+    if stamp is not None:
+        stamp(
+            heartbeat,
+            worker=worker,
+            chunk=chunk_id,
+            replicas_done=len(tasks),
+            events=0,
+        )
+    return pack
 
 
 class ParallelCampaignRunner:
@@ -301,6 +365,22 @@ class ParallelCampaignRunner:
         list[ReplicaResult | ReplicaFailure]``.  Only meaningful with
         ``backend="batched"``; defaults to wrapping ``task`` in
         :class:`repro.runtime.batch.SequentialBatchTask`.
+    stall_timeout_s:
+        Live-telemetry runs only: a pooled chunk whose worker has not
+        stamped a heartbeat for this long is suspected stalled and
+        resubmitted as a duplicate chunk *without waiting for pool
+        teardown* — safe because results dedupe by replica index and
+        replica values are pure functions of ``(root_seed, index)``.
+        ``None`` disables stall detection even with a bus attached.
+    stall_poll_s:
+        How often the parent wakes from the pool wait to fold
+        heartbeats, emit progress and check stall/straggler deadlines.
+        Irrelevant without a live bus (the wait then has no timeout at
+        all — the pre-telemetry code path, byte for byte).
+    straggler_factor:
+        A chunk in flight longer than this multiple of the median
+        completed-chunk latency is flagged ``straggler_suspected``
+        (flagged once, never resubmitted: it is making progress).
     """
 
     def __init__(
@@ -316,6 +396,9 @@ class ParallelCampaignRunner:
         on_exhausted: str = "serial",
         backend: str = "scalar",
         batch_task: Callable[..., Any] | None = None,
+        stall_timeout_s: float | None = 30.0,
+        stall_poll_s: float = 1.0,
+        straggler_factor: float = 4.0,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -342,6 +425,18 @@ class ParallelCampaignRunner:
             raise ValueError(
                 f"backend must be one of {BACKENDS}, got {backend!r}"
             )
+        if stall_timeout_s is not None and stall_timeout_s <= 0:
+            raise ValueError(
+                f"stall_timeout_s must be > 0 or None, got {stall_timeout_s}"
+            )
+        if stall_poll_s <= 0:
+            raise ValueError(
+                f"stall_poll_s must be > 0, got {stall_poll_s}"
+            )
+        if straggler_factor <= 1:
+            raise ValueError(
+                f"straggler_factor must be > 1, got {straggler_factor}"
+            )
         if batch_task is not None and backend != "batched":
             raise ValueError(
                 "batch_task requires backend='batched' "
@@ -361,6 +456,9 @@ class ParallelCampaignRunner:
         self.retry_backoff_s = retry_backoff_s
         self.shutdown_timeout_s = shutdown_timeout_s
         self.on_exhausted = on_exhausted
+        self.stall_timeout_s = stall_timeout_s
+        self.stall_poll_s = stall_poll_s
+        self.straggler_factor = straggler_factor
 
     # -- public API -------------------------------------------------------
 
@@ -375,6 +473,8 @@ class ParallelCampaignRunner:
         store: str | Path | None = None,
         store_meta: dict[str, Any] | None = None,
         preloaded: dict[int, ReplicaResult] | None = None,
+        live_log: str | Path | None = None,
+        live: Any = None,
     ) -> RunOutcome:
         """Execute one replica per spec; reduce deterministically.
 
@@ -408,6 +508,18 @@ class ParallelCampaignRunner:
         metrics (``events_simulated``, busy time) and are counted in
         ``replicas_resumed`` — which is precisely how the
         replay-equivalence battery proves only affected replicas re-ran.
+
+        With ``live_log`` (or an explicit ``live`` bus, a
+        :class:`repro.obs.live.LiveEventBus`) the run additionally
+        streams lifecycle telemetry — chunk submissions/completions,
+        worker heartbeats, retries, checkpoint flushes, stall and
+        straggler flags — to a schema-versioned JSONL sidecar, plus an
+        OpenMetrics ``<live_log>.prom`` snapshot at the end.  Live
+        records carry wall-clock fields and are excluded from every
+        canonical digest; the simulation itself is untouched (the
+        telemetry-on aggregate is bit-identical to telemetry-off, which
+        ``tests/obs/test_live.py`` asserts).  Without either argument
+        the runner takes the exact pre-telemetry code path.
         """
         tasks = [
             ReplicaTask(index=i, root_seed=int(root_seed), spec=spec)
@@ -470,18 +582,73 @@ class ParallelCampaignRunner:
             # Ledger-resumed results fill the gaps; explicit splices win.
             preloaded = {**resumed, **preloaded}
 
+        bus = live
+        owns_bus = bus is None and live_log is not None
+        monitor = None
+        heartbeat_dir = None
+        pooled = not (self.workers == 1 or len(tasks) <= 1)
+        if bus is not None or live_log is not None:
+            # Lazy import: runs without telemetry never pay for it.
+            from repro.obs.live import (
+                JsonlLiveSink,
+                LiveEventBus,
+                LiveRunMonitor,
+            )
+
+            if bus is None:
+                bus = LiveEventBus([JsonlLiveSink(live_log)])
+            meta = {**(store_meta or {}), **(checkpoint_meta or {})}
+            bus.emit(
+                "run_started",
+                replicas=len(tasks),
+                replicas_resumed=len(preloaded),
+                workers=self.workers,
+                chunk_size=chunk_size,
+                backend=self.backend,
+                command=meta.get("command"),
+                root_seed=int(root_seed),
+            )
+            if pooled:
+                heartbeat_dir = tempfile.mkdtemp(prefix="repro-live-hb-")
+            monitor = LiveRunMonitor(
+                bus,
+                heartbeat_dir,
+                replicas_total=len(tasks),
+                stall_timeout_s=self.stall_timeout_s if pooled else None,
+                straggler_factor=self.straggler_factor,
+            )
+            if ledger is not None:
+                ledger.on_flush = lambda indices: bus.emit(
+                    "checkpoint_flushed", replicas=len(indices)
+                )
+
         t0 = time.perf_counter()
         leaked: list[int] = []
         failures: dict[int, ReplicaFailure] = {}
-        if self.workers == 1 or len(tasks) <= 1:
-            results, retries = self._run_serial(
-                tasks, chunk_size, ledger, preloaded, failures
-            )
-        else:
-            results, retries = self._run_pool(
-                tasks, chunk_size, ledger, preloaded, failures, leaked
-            )
+        try:
+            if not pooled:
+                results, retries = self._run_serial(
+                    tasks, chunk_size, ledger, preloaded, failures, monitor
+                )
+            else:
+                results, retries = self._run_pool(
+                    tasks,
+                    chunk_size,
+                    ledger,
+                    preloaded,
+                    failures,
+                    leaked,
+                    monitor,
+                )
+        except BaseException:
+            if heartbeat_dir is not None:
+                shutil.rmtree(heartbeat_dir, ignore_errors=True)
+            if owns_bus and bus is not None:
+                bus.close()
+            raise
         wall = time.perf_counter() - t0
+        if heartbeat_dir is not None:
+            shutil.rmtree(heartbeat_dir, ignore_errors=True)
         if ledger is not None:
             ledger.close(completed=len(results), failed=len(failures))
 
@@ -530,6 +697,16 @@ class ParallelCampaignRunner:
             metrics=metrics,
             failures=tuple(failures[i] for i in sorted(failures)),
         )
+        if bus is not None:
+            bus.emit(
+                "run_finished",
+                metrics=metrics.to_dict(),
+                failures=len(outcome.failures),
+                stalls=monitor.stall_count if monitor is not None else 0,
+            )
+            if owns_bus:
+                self._write_prom_snapshot(live_log, outcome)
+                bus.close()
         if store is not None:
             # Deferred import: the storage package is sim-free and the
             # runner must stay importable without it paying for (or the
@@ -576,6 +753,7 @@ class ParallelCampaignRunner:
         ledger,
         preloaded: dict[int, ReplicaResult],
         failures: dict[int, ReplicaFailure],
+        monitor=None,
     ) -> tuple[list[ReplicaResult], int]:
         """In-process execution, chunked so the ledger sees progress.
 
@@ -585,7 +763,7 @@ class ParallelCampaignRunner:
         """
         results: list[ReplicaResult] = list(preloaded.values())
         capture = self.on_exhausted == "salvage"
-        for chunk in self._chunked(tasks, chunk_size):
+        for cid, chunk in enumerate(self._chunked(tasks, chunk_size)):
             # Drop already-completed replicas before the executor sees
             # the chunk — for the batched backend this is what makes a
             # mid-batch resume safe: the batch task only ever receives
@@ -593,6 +771,10 @@ class ParallelCampaignRunner:
             todo = [t for t in chunk if t.index not in preloaded]
             if not todo:
                 continue
+            if monitor is not None:
+                monitor.chunk_submitted(
+                    cid, [t.index for t in todo], attempt=1
+                )
             if self.backend == "batched":
                 out = self.batch_task(todo, SERIAL_WORKER, capture).unpack()
             else:
@@ -606,9 +788,19 @@ class ParallelCampaignRunner:
             for r in out:
                 if isinstance(r, ReplicaFailure):
                     failures[r.index] = r
+                    if monitor is not None:
+                        monitor.replica_failed(r.index, r.error_type, 1)
             results.extend(fresh)
             if ledger is not None and fresh:
                 ledger.append_chunk(fresh)
+            if monitor is not None:
+                monitor.chunk_done(
+                    cid,
+                    worker=SERIAL_WORKER,
+                    replicas=len(fresh),
+                    events=sum(r.events for r in fresh),
+                )
+                monitor.poll()
         return results, 0
 
     def _run_pool(
@@ -619,6 +811,7 @@ class ParallelCampaignRunner:
         preloaded: dict[int, ReplicaResult],
         failures: dict[int, ReplicaFailure],
         leaked: list[int],
+        monitor=None,
     ) -> tuple[list[ReplicaResult], int]:
         results_by_index: dict[int, ReplicaResult] = dict(preloaded)
         pending: dict[int, list[ReplicaTask]] = {}
@@ -633,6 +826,8 @@ class ParallelCampaignRunner:
         while pending and attempt <= self.max_retries:
             if attempt > 0:
                 retries += len(pending)
+                if monitor is not None:
+                    monitor.retry(chunks=len(pending), attempt=attempt)
                 self._backoff(attempt)
             attempt += 1
             newly_failed: dict[int, ReplicaFailure] = {}
@@ -641,28 +836,44 @@ class ParallelCampaignRunner:
                 max_workers=min(self.workers, len(pending)), mp_context=ctx
             )
             try:
-                if self.backend == "batched":
-                    futures = {
-                        executor.submit(
+
+                def _submit(cid: int, chunk: list[ReplicaTask]):
+                    hb = (
+                        monitor.heartbeat_path(cid)
+                        if monitor is not None
+                        else None
+                    )
+                    if self.backend == "batched":
+                        return executor.submit(
                             _execute_packed_chunk,
                             self.batch_task,
                             chunk,
                             None,
                             True,
-                        ): cid
-                        for cid, chunk in pending.items()
-                    }
-                else:
-                    futures = {
-                        executor.submit(
-                            _execute_chunk, self.task, chunk, None, True
-                        ): cid
-                        for cid, chunk in pending.items()
-                    }
+                            hb,
+                            cid,
+                        )
+                    return executor.submit(
+                        _execute_chunk, self.task, chunk, None, True, hb, cid
+                    )
+
+                futures = {}
+                for cid, chunk in pending.items():
+                    futures[_submit(cid, chunk)] = cid
+                    if monitor is not None:
+                        monitor.chunk_submitted(
+                            cid, [t.index for t in chunk], attempt
+                        )
                 not_done = set(futures)
+                # With a live monitor the pool wait wakes on a poll
+                # timeout to fold heartbeats and run stall detection;
+                # without one it blocks indefinitely — the exact
+                # pre-telemetry code path.
+                poll = self.stall_poll_s if monitor is not None else None
+                resubmitted: set[int] = set()
                 while not_done:
                     done, not_done = wait(
-                        not_done, return_when=FIRST_COMPLETED
+                        not_done, timeout=poll, return_when=FIRST_COMPLETED
                     )
                     for future in done:
                         cid = futures[future]
@@ -686,8 +897,10 @@ class ParallelCampaignRunner:
                             chunk_results = chunk_results.unpack()
                         # Pop before recording, and dedupe by replica
                         # index, so no interleaving of crash and
-                        # completion can double-count a replica.
-                        pending.pop(cid, None)
+                        # completion can double-count a replica.  A
+                        # stall-resubmitted duplicate that finishes
+                        # second pops nothing and records nothing.
+                        was_pending = pending.pop(cid, None) is not None
                         fresh: list[ReplicaResult] = []
                         for r in chunk_results:
                             if isinstance(r, ReplicaFailure):
@@ -695,12 +908,59 @@ class ParallelCampaignRunner:
                                     r, attempts=attempt
                                 )
                                 newly_failed[r.index] = failures[r.index]
+                                if monitor is not None:
+                                    monitor.replica_failed(
+                                        r.index, r.error_type, attempt
+                                    )
                             elif r.index not in results_by_index:
                                 results_by_index[r.index] = r
                                 failures.pop(r.index, None)
                                 fresh.append(r)
+                        if monitor is not None and was_pending:
+                            monitor.chunk_done(
+                                cid,
+                                worker=(
+                                    fresh[0].worker if fresh else "pool"
+                                ),
+                                replicas=len(fresh),
+                                events=sum(r.events for r in fresh),
+                            )
                         if ledger is not None and fresh:
                             ledger.append_chunk(fresh)
+                    if monitor is not None:
+                        for stalled_cid in monitor.poll():
+                            # Duplicate the stalled chunk onto a free
+                            # worker instead of waiting for pool
+                            # teardown; at most one duplicate per chunk
+                            # per attempt.  Index-dedup above makes the
+                            # race between original and duplicate safe
+                            # whichever finishes first.
+                            if (
+                                stalled_cid in pending
+                                and stalled_cid not in resubmitted
+                            ):
+                                resubmitted.add(stalled_cid)
+                                retries += 1
+                                dup = _submit(
+                                    stalled_cid, pending[stalled_cid]
+                                )
+                                futures[dup] = stalled_cid
+                                not_done.add(dup)
+                                monitor.chunk_submitted(
+                                    stalled_cid,
+                                    [
+                                        t.index
+                                        for t in pending[stalled_cid]
+                                    ],
+                                    attempt,
+                                )
+                        if not pending and not_done:
+                            # Every replica is accounted for; whatever
+                            # is still "running" is a hung original
+                            # whose duplicate already won.  Abandon it —
+                            # the bounded executor shutdown reaps (or
+                            # reports) its worker.
+                            break
             except (BrokenProcessPool, OSError):
                 # Raised by submit()/wait() themselves when the pool is
                 # already broken; everything still pending is resubmitted
@@ -764,6 +1024,31 @@ class ParallelCampaignRunner:
                     ),
                 )
         return list(results_by_index.values()), retries
+
+    @staticmethod
+    def _write_prom_snapshot(
+        live_log: str | Path, outcome: RunOutcome
+    ) -> None:
+        """OpenMetrics snapshot next to the live log (``<name>.prom``).
+
+        Counters ride on the aggregate when the workload collected them
+        (``outcome.value.obs_counters``, the same duck-typed snapshot
+        the columnar store persists); run metrics become gauges either
+        way.  Best-effort — exposition must never fail a run.
+        """
+        try:
+            from repro.obs.openmetrics import render_openmetrics
+
+            snapshot = getattr(outcome.value, "obs_counters", None)
+            text = render_openmetrics(
+                snapshot if isinstance(snapshot, dict) else None,
+                outcome.metrics.to_dict(),
+            )
+            path = Path(live_log)
+            prom = path.with_name(path.name + ".prom")
+            prom.write_text(text, encoding="utf-8")
+        except OSError:  # pragma: no cover - disk-full etc.
+            pass
 
     def _shutdown_executor(self, executor: ProcessPoolExecutor) -> list[int]:
         """Tear a pool down with a bounded wait; report leaked workers.

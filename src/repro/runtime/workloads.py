@@ -235,6 +235,8 @@ def run_random_campaigns(
     store: str | None = None,
     store_meta: dict | None = None,
     preloaded: dict | None = None,
+    live_log: str | None = None,
+    stall_timeout_s: float | None = 30.0,
 ) -> RunOutcome:
     """Run ``replicas`` independent stochastic campaigns.
 
@@ -259,6 +261,12 @@ def run_random_campaigns(
     uses it to re-run only DAG-affected replicas.  The runner's metrics
     count only fresh work, so ``events_simulated``/``replicas_resumed``
     prove what was spliced.
+
+    ``live_log`` streams in-flight lifecycle telemetry (progress, worker
+    heartbeats, stall/straggler flags) to a JSONL sidecar readable by
+    ``repro monitor``; it never influences the simulation or any
+    canonical digest.  ``stall_timeout_s`` tunes the heartbeat deadline
+    for the live path's stall detector.
     """
     if replicas < 0:
         raise ValueError(f"replicas must be >= 0, got {replicas}")
@@ -276,6 +284,7 @@ def run_random_campaigns(
         on_exhausted=on_exhausted,
         backend=backend,
         batch_task=batch_task,
+        stall_timeout_s=stall_timeout_s,
     )
     spec = spec if spec is not None else CampaignReplicaSpec()
     return runner.run(
@@ -287,4 +296,5 @@ def run_random_campaigns(
         store=store,
         store_meta=store_meta,
         preloaded=preloaded,
+        live_log=live_log,
     )

@@ -72,6 +72,72 @@ def test_registry_inc_observe_and_labels():
     assert len(reg) == 3
 
 
+@pytest.mark.parametrize(
+    ("value", "bucket"),
+    [
+        (0.0, 0),  # bucket 0 = [0, 1)
+        (-1.0, 0),  # negatives collapse into bucket 0 (< 1.0 branch)
+        (-1e300, 0),
+        (float("inf"), 0),  # frexp(inf) -> exponent 0
+        (float("nan"), 0),  # nan < 1.0 is False; frexp(nan) -> exponent 0
+        (0.999999, 0),
+        (2**52, 53),
+    ],
+)
+def test_bucket_of_degenerate_values_are_stable(value, bucket):
+    """Non-finite and out-of-domain observations must land in a stable
+    bucket rather than raise — a worker's counter snapshot must always
+    merge, whatever a task recorded."""
+    assert bucket_of(value) == bucket
+
+
+def test_merge_snapshot_at_bucket_boundaries_matches_serial():
+    """Merging snapshots whose observations sit exactly on power-of-two
+    bucket edges (and beyond the finite domain) equals one serial
+    stream, bucket for bucket."""
+    edge_values = [0.0, 0.5, 1.0, 2.0, 4.0, 2.0**31, -3.0, float("inf")]
+    serial = CounterRegistry()
+    parts = [CounterRegistry() for _ in range(2)]
+    for i, value in enumerate(edge_values):
+        parts[i % 2].observe("lat", value)
+        serial.observe("lat", value)
+    merged = CounterRegistry()
+    for part in parts:
+        merged.merge_snapshot(part.snapshot())
+    assert merged.snapshot() == serial.snapshot()
+    hist = merged.histogram("lat")
+    assert hist.count == len(edge_values)
+    # 0.0, 0.5, -3.0 and inf all share bucket 0; each edge value 2**k
+    # opens bucket k+1.
+    assert hist.buckets[0] == 4
+    assert hist.buckets[1] == 1  # 1.0
+    assert hist.buckets[2] == 1  # 2.0
+    assert hist.buckets[3] == 1  # 4.0
+    assert hist.buckets[32] == 1  # 2**31
+    assert hist.min == -3.0
+    assert hist.max == float("inf")
+
+
+def test_merge_snapshot_into_empty_and_disjoint_keys():
+    a = CounterRegistry()
+    a.inc("x", 2)
+    a.observe("lat", 1.0, stage="a")
+    b = CounterRegistry()
+    b.inc("y", 3)
+    b.observe("lat", 2.0, stage="b")
+    target = CounterRegistry()
+    target.merge_snapshot(a.snapshot())
+    target.merge_snapshot(b.snapshot())
+    assert target.get("x") == 2
+    assert target.get("y") == 3
+    assert target.histogram("lat", stage="a").count == 1
+    assert target.histogram("lat", stage="b").count == 1
+    # Merging an empty snapshot is the identity.
+    before = target.snapshot()
+    target.merge_snapshot(CounterRegistry().snapshot())
+    assert target.snapshot() == before
+
+
 def test_snapshot_merge_matches_serial_run():
     serial = CounterRegistry()
     parts = [CounterRegistry() for _ in range(3)]
